@@ -1,0 +1,14 @@
+// Command dcbench regenerates the paper's evaluation — Table 2, Figure 7,
+// Table 3, the §5.4 experiments, the design-choice ablations, and the
+// filter-precision study — printing measured values next to the paper's.
+package main
+
+import (
+	"os"
+
+	"doublechecker/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.DCBench(os.Args[1:], os.Stdout, os.Stderr))
+}

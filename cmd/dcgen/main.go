@@ -1,0 +1,13 @@
+// Command dcgen lists the built-in benchmark suite or dumps one benchmark
+// as workload-language source for inspection and re-checking with dcheck.
+package main
+
+import (
+	"os"
+
+	"doublechecker/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.DCGen(os.Args[1:], os.Stdout, os.Stderr))
+}

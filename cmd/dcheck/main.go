@@ -1,0 +1,15 @@
+// Command dcheck runs an atomicity checker over a workload-language (.dcp)
+// program and reports conflict-serializability violations, with optional
+// timeline explanations (-v), Graphviz export (-dot), static lint (-lint),
+// iterative refinement (-refine) and modelled-cost reporting (-cost).
+package main
+
+import (
+	"os"
+
+	"doublechecker/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.DCheck(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,50 @@
+package doublechecker
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProgramCorpus checks every shipped .dcp program against its expected
+// outcome, under both DoubleChecker single-run and Velodrome — the same
+// files a user would feed to cmd/dcheck.
+func TestProgramCorpus(t *testing.T) {
+	cases := []struct {
+		file   string
+		blamed []string // expected blamed methods across trials (nil = clean)
+	}{
+		{"bank.dcp", []string{"audit"}},
+		{"workqueue.dcp", []string{"countDone"}},
+		{"handoff.dcp", nil},
+		{"matrix.dcp", nil},
+	}
+	for _, c := range cases {
+		src, err := os.ReadFile(filepath.Join("examples", "programs", c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeSingleRun, ModeVelodrome} {
+			r, err := CheckSource(string(src), Options{Mode: mode, Trials: 10})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.file, mode, err)
+			}
+			if len(c.blamed) == 0 {
+				if len(r.Violations) != 0 {
+					t.Errorf("%s/%s: expected clean, got %d violations blaming %v",
+						c.file, mode, len(r.Violations), r.BlamedMethods)
+				}
+				continue
+			}
+			if len(r.BlamedMethods) != len(c.blamed) {
+				t.Errorf("%s/%s: blamed %v, want %v", c.file, mode, r.BlamedMethods, c.blamed)
+				continue
+			}
+			for i, want := range c.blamed {
+				if r.BlamedMethods[i] != want {
+					t.Errorf("%s/%s: blamed %v, want %v", c.file, mode, r.BlamedMethods, c.blamed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package doublechecker is the public face of this DoubleChecker
+// reproduction (Biswas, Huang, Sengupta, Bond — PLDI 2014): a sound and
+// precise dynamic atomicity (conflict-serializability) checker built from
+// two cooperating analyses, plus the Velodrome baseline, a workload
+// language, a 19-benchmark suite, and the paper's full evaluation harness.
+//
+// The simplest entry point checks a workload-language program — methods
+// marked `atomic` form the atomicity specification:
+//
+//	report, err := doublechecker.CheckSource(src, doublechecker.Options{Trials: 10})
+//	if len(report.BlamedMethods) > 0 { ... }
+//
+// Modes mirror the paper: ModeSingleRun is the fully sound and precise
+// ICD+PCD configuration; ModeMultiRun runs cheap ICD-only first runs and a
+// filtered second run; ModeVelodrome is the prior-work baseline.
+// RefineSource derives a specification by iterative refinement (Figure 6).
+// The deeper APIs — the VM, the checkers, the evaluation harness — live in
+// the internal packages and are exercised through the cmd/ tools and
+// examples/.
+package doublechecker
+
+import (
+	"fmt"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/lang"
+	"doublechecker/internal/spec"
+	"doublechecker/internal/vm"
+)
+
+// Mode selects the checker configuration.
+type Mode string
+
+// The supported checker configurations.
+const (
+	// ModeSingleRun is DoubleChecker's single-run mode (ICD+PCD): fully
+	// sound and precise for the observed execution.
+	ModeSingleRun Mode = "single-run"
+	// ModeMultiRun runs the paper's multi-run pipeline: FirstRuns
+	// ICD-only executions, then one ICD+PCD second run restricted to the
+	// static transaction information they report.
+	ModeMultiRun Mode = "multi-run"
+	// ModeVelodrome is the prior state-of-the-art baseline.
+	ModeVelodrome Mode = "velodrome"
+)
+
+// Options configures a check. The zero value is usable.
+type Options struct {
+	// Mode defaults to ModeSingleRun.
+	Mode Mode
+	// Trials is how many schedules (seeds) to check; default 1.
+	Trials int
+	// Seed is the first schedule seed; trial i uses Seed+i.
+	Seed int64
+	// Stickiness is the scheduler's per-step switch probability in (0,1];
+	// default 0.1. Lower values preempt less often.
+	Stickiness float64
+	// FirstRuns is the number of first runs in ModeMultiRun; default 10.
+	FirstRuns int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = ModeSingleRun
+	}
+	if o.Trials == 0 {
+		o.Trials = 1
+	}
+	if o.Stickiness == 0 {
+		o.Stickiness = 0.1
+	}
+	if o.FirstRuns == 0 {
+		o.FirstRuns = 10
+	}
+	return o
+}
+
+// Violation is one detected conflict-serializability violation.
+type Violation struct {
+	// Seed is the schedule that exposed it.
+	Seed int64
+	// Methods are the blamed methods (the transactions that completed the
+	// dependence cycle); empty only for cycles among purely
+	// non-transactional accesses.
+	Methods []string
+	// CycleSize is the number of transactions in the precise cycle.
+	CycleSize int
+}
+
+// Report summarizes a check.
+type Report struct {
+	// Program is the checked program's name.
+	Program string
+	// AtomicMethods is the size of the specification checked against.
+	AtomicMethods int
+	// Violations lists every distinct dynamic violation found across
+	// trials.
+	Violations []Violation
+	// BlamedMethods is the union of blamed method names, sorted.
+	BlamedMethods []string
+}
+
+// CheckSource parses a workload-language program and checks it under the
+// given options. Methods marked `atomic` in the source form the atomicity
+// specification.
+func CheckSource(src string, opts Options) (*Report, error) {
+	unit, err := lang.ParseAndLower(src)
+	if err != nil {
+		return nil, err
+	}
+	return CheckUnit(unit, opts)
+}
+
+// CheckUnit checks an already-lowered program unit.
+func CheckUnit(unit *lang.Unit, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	prog := unit.Prog
+	sp := specFromUnit(unit)
+	report := &Report{
+		Program:       prog.Name,
+		AtomicMethods: sp.Size(),
+	}
+	blamed := map[string]bool{}
+	for trial := 0; trial < opts.Trials; trial++ {
+		seed := opts.Seed + int64(trial)
+		res, err := runMode(prog, sp, seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range res.Violations {
+			pv := Violation{Seed: seed, CycleSize: len(v.Cycle)}
+			for _, m := range v.BlamedMethods {
+				name := prog.MethodName(m)
+				pv.Methods = append(pv.Methods, name)
+				blamed[name] = true
+			}
+			report.Violations = append(report.Violations, pv)
+		}
+	}
+	report.BlamedMethods = sortedKeys(blamed)
+	return report, nil
+}
+
+// RefineReport is the outcome of iterative specification refinement.
+type RefineReport struct {
+	// Removed lists the methods refinement excluded, in removal order —
+	// the methods that are not actually atomic.
+	Removed []string
+	// AtomicMethods lists the final specification's methods, sorted.
+	AtomicMethods []string
+	// Trials is how many checking trials ran.
+	Trials int
+}
+
+// RefineSource runs the paper's Figure 6 iterative refinement on a
+// workload-language program: starting from the `atomic`-marked methods, it
+// repeatedly checks (single-run mode) and removes blamed methods until no
+// new violations appear for 10 consecutive trials.
+func RefineSource(src string, opts Options) (*RefineReport, error) {
+	opts = opts.withDefaults()
+	unit, err := lang.ParseAndLower(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := unit.Prog
+	initial := specFromUnit(unit)
+	check := func(sp *spec.Spec, trial int) ([]vm.MethodID, error) {
+		res, err := core.Run(prog, core.Config{
+			Analysis: core.DCSingle,
+			Sched:    vm.NewSticky(opts.Seed+int64(trial), opts.Stickiness),
+			Atomic:   sp.Atomic,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out []vm.MethodID
+		for m := range res.BlamedMethods {
+			out = append(out, m)
+		}
+		return out, nil
+	}
+	res, err := spec.Refine(initial, check, spec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	report := &RefineReport{Trials: res.Trials}
+	for _, m := range res.ExclusionOrder {
+		report.Removed = append(report.Removed, prog.MethodName(m))
+	}
+	for _, m := range res.Final.AtomicMethods() {
+		report.AtomicMethods = append(report.AtomicMethods, prog.MethodName(m))
+	}
+	return report, nil
+}
+
+func specFromUnit(unit *lang.Unit) *spec.Spec {
+	atomicSet := make(map[string]bool, len(unit.AtomicMethods))
+	for _, n := range unit.AtomicMethods {
+		atomicSet[n] = true
+	}
+	sp := spec.New(unit.Prog)
+	for _, m := range unit.Prog.Methods {
+		if !atomicSet[m.Name] {
+			sp.Exclude(m.ID)
+		}
+	}
+	return sp
+}
+
+func runMode(prog *vm.Program, sp *spec.Spec, seed int64, opts Options) (*core.Result, error) {
+	sched := vm.NewSticky(seed, opts.Stickiness)
+	switch opts.Mode {
+	case ModeSingleRun:
+		return core.Run(prog, core.Config{
+			Analysis: core.DCSingle, Sched: sched, Atomic: sp.Atomic,
+		})
+	case ModeVelodrome:
+		return core.Run(prog, core.Config{
+			Analysis: core.Velodrome, Sched: sched, Atomic: sp.Atomic,
+		})
+	case ModeMultiRun:
+		var firsts []*core.Result
+		for i := 0; i < opts.FirstRuns; i++ {
+			res, err := core.Run(prog, core.Config{
+				Analysis: core.DCFirst,
+				Sched:    vm.NewSticky(seed*1000+int64(i), opts.Stickiness),
+				Atomic:   sp.Atomic,
+			})
+			if err != nil {
+				return nil, err
+			}
+			firsts = append(firsts, res)
+		}
+		return core.Run(prog, core.Config{
+			Analysis: core.DCSecond, Sched: sched, Atomic: sp.Atomic,
+			Filter: core.UnionFilter(firsts),
+		})
+	default:
+		return nil, fmt.Errorf("doublechecker: unknown mode %q", opts.Mode)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

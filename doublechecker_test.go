@@ -1,0 +1,140 @@
+package doublechecker
+
+import (
+	"strings"
+	"testing"
+)
+
+const racySource = `
+program counter
+object c
+atomic method bump {
+    read c.n
+    compute 6
+    write c.n
+}
+method main0 { loop 20 { call bump } }
+method main1 { loop 20 { call bump } }
+thread main0
+thread main1
+`
+
+const safeSource = `
+program counter
+object c
+lock l
+atomic method bump {
+    acquire l
+    read c.n
+    write c.n
+    release l
+}
+method main0 { loop 20 { call bump } }
+method main1 { loop 20 { call bump } }
+thread main0
+thread main1
+`
+
+func TestCheckSourceFindsRace(t *testing.T) {
+	r, err := CheckSource(racySource, Options{Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Program != "counter" || r.AtomicMethods != 1 {
+		t.Errorf("report header: %+v", r)
+	}
+	if len(r.BlamedMethods) != 1 || r.BlamedMethods[0] != "bump" {
+		t.Errorf("blamed = %v, want [bump]", r.BlamedMethods)
+	}
+	if len(r.Violations) == 0 || r.Violations[0].CycleSize < 2 {
+		t.Errorf("violations: %+v", r.Violations)
+	}
+}
+
+func TestCheckSourceCleanProgram(t *testing.T) {
+	for _, mode := range []Mode{ModeSingleRun, ModeVelodrome, ModeMultiRun} {
+		r, err := CheckSource(safeSource, Options{Mode: mode, Trials: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Violations) != 0 {
+			t.Errorf("%s: clean program reported %d violations", mode, len(r.Violations))
+		}
+	}
+}
+
+func TestCheckSourceModesAgree(t *testing.T) {
+	single, err := CheckSource(racySource, Options{Mode: ModeSingleRun, Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	velo, err := CheckSource(racySource, Options{Mode: ModeVelodrome, Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := CheckSource(racySource, Options{Mode: ModeMultiRun, Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.BlamedMethods) == 0 || len(velo.BlamedMethods) == 0 || len(multi.BlamedMethods) == 0 {
+		t.Errorf("all modes should find the race: single=%v velo=%v multi=%v",
+			single.BlamedMethods, velo.BlamedMethods, multi.BlamedMethods)
+	}
+}
+
+func TestCheckSourceParseError(t *testing.T) {
+	_, err := CheckSource("program x\nmethod m { read q.f }\nthread m", Options{})
+	if err == nil || !strings.Contains(err.Error(), "undefined object") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCheckSourceUnknownMode(t *testing.T) {
+	_, err := CheckSource(safeSource, Options{Mode: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRefineSource(t *testing.T) {
+	src := `
+program mix
+object c
+lock l
+atomic method safe { acquire l read c.a write c.a release l }
+atomic method racy { read c.b compute 8 write c.b }
+method main0 { loop 15 { call safe call racy } }
+method main1 { loop 15 { call safe call racy } }
+thread main0
+thread main1
+`
+	r, err := RefineSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Removed) != 1 || r.Removed[0] != "racy" {
+		t.Errorf("removed = %v, want [racy]", r.Removed)
+	}
+	found := false
+	for _, n := range r.AtomicMethods {
+		if n == "safe" {
+			found = true
+		}
+		if n == "racy" {
+			t.Error("racy must not survive refinement")
+		}
+	}
+	if !found {
+		t.Errorf("safe should stay atomic: %v", r.AtomicMethods)
+	}
+	if r.Trials < 10 {
+		t.Errorf("refinement must run its stable window: %d trials", r.Trials)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Mode != ModeSingleRun || o.Trials != 1 || o.Stickiness != 0.1 || o.FirstRuns != 10 {
+		t.Errorf("defaults: %+v", o)
+	}
+}

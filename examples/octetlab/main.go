@@ -1,0 +1,82 @@
+// Octetlab: a guided tour of the Octet concurrency-control state machine
+// DoubleChecker builds on (paper Table 1 and Figure 2). It drives the
+// engine directly through the paper's Figure 2 interleaving and prints
+// every state transition, then runs a realistic workload and shows the
+// fast-path ratio that makes ICD cheap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/octet"
+	"doublechecker/internal/spec"
+	"doublechecker/internal/vm"
+	"doublechecker/internal/workloads"
+)
+
+// hooks prints each dependence-relevant event as ICD would see it.
+type hooks struct{}
+
+func (hooks) HandleConflicting(resp, req vm.ThreadID, old, new octet.State, explicit bool) {
+	proto := "explicit round trip"
+	if !explicit {
+		proto = "implicit flag"
+	}
+	fmt.Printf("      -> IDG edge: currTX(t%d) -> currTX(t%d)  [%s]\n", resp, req, proto)
+}
+func (hooks) HandleUpgrading(t vm.ThreadID, rdExOwner vm.ThreadID, old, new octet.State) {
+	fmt.Printf("      -> IDG edges: t%d.lastRdEx -> currTX(t%d), gLastRdSh -> currTX(t%d)\n",
+		rdExOwner, t, t)
+}
+func (hooks) HandleFence(t vm.ThreadID, c uint64) {
+	fmt.Printf("      -> IDG edge: gLastRdSh -> currTX(t%d)  [fence, counter %d]\n", t, c)
+}
+
+func main() {
+	fmt.Println("== the Figure 2 interleaving, step by step ==")
+	e := octet.New(hooks{}, nil, nil)
+	for t := vm.ThreadID(1); t <= 7; t++ {
+		e.ThreadStart(t)
+	}
+	o, p := vm.ObjectID(0), vm.ObjectID(1)
+	step := func(what string, tr octet.Transition) {
+		fmt.Printf("  %-14s %-11s: %v -> %v\n", what, tr.Kind, tr.Old, tr.New)
+	}
+	step("t1 wr o.f", e.BeforeWrite(1, o))
+	step("t7 wr p.q", e.BeforeWrite(7, p))
+	step("t5 rd p.q", e.BeforeRead(5, p))
+	step("t6 rd p.q", e.BeforeRead(6, p)) // upgrade p to RdSh_c
+	step("t2 rd o.f", e.BeforeRead(2, o)) // conflict WrEx -> RdEx
+	step("t3 rd o.f", e.BeforeRead(3, o)) // upgrade o to RdSh_{c+1}
+	step("t4 rd o.h", e.BeforeRead(4, o)) // fence: t4's counter is stale
+	step("t4 rd p.q", e.BeforeRead(4, p)) // no fence: counter already newer
+	st := e.Stats()
+	fmt.Printf("\n  totals: %d fast paths, %d upgrades, %d fences, %d conflicts\n",
+		st.FastPath, st.Upgrading, st.Fences, st.Conflicting)
+
+	fmt.Println("\n== fast-path ratio on a real workload (raytracer) ==")
+	built, err := workloads.Build("raytracer", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := spec.Initial(built.Prog)
+	if err := sp.ExcludeByName(built.InitialExclusions...); err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(built.Prog, core.Config{
+		Analysis: core.DCFirst,
+		Sched:    vm.NewSticky(1, built.Stickiness),
+		Atomic:   sp.Atomic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := res.ICD.RegularAccesses + res.ICD.UnaryAccesses
+	fmt.Printf("  %d accesses instrumented, only %d IDG edges added (%.2f%%)\n",
+		total, res.ICD.IDGEdges, 100*float64(res.ICD.IDGEdges)/float64(total))
+	fmt.Println("\nMost accesses hit Octet's read-only fast path — the whole reason ICD")
+	fmt.Println("can over-approximate dependences so much more cheaply than Velodrome's")
+	fmt.Println("per-access synchronized metadata updates.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a tiny multithreaded program with the VM builder API,
+// declare one method atomic, and let DoubleChecker's single-run mode find
+// the classic read-modify-write atomicity violation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/vm"
+)
+
+func main() {
+	// Two threads each run the atomic method `increment` on a shared
+	// counter — but increment takes no lock, so its read-then-write is not
+	// atomic under an unlucky interleaving.
+	b := vm.NewBuilder("quickstart")
+	counter := b.Object()
+
+	increment := b.Method("increment")
+	increment.Read(counter, 0).Compute(5).Write(counter, 0)
+
+	for i := 0; i < 2; i++ {
+		main := b.Method(fmt.Sprintf("main%d", i))
+		main.CallN(increment, 20)
+		b.Thread(main)
+	}
+	prog := b.MustBuild()
+
+	// The atomicity specification: increment is expected to be atomic.
+	incID := prog.MethodByName("increment").ID
+	atomic := func(m vm.MethodID) bool { return m == incID }
+
+	// Try a few schedules; the violation manifests under most of them.
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := core.Run(prog, core.Config{
+			Analysis: core.DCSingle, // ICD + PCD in one execution
+			Seed:     seed,
+			Atomic:   atomic,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("seed %d: ICD found %d potential cycles (SCCs); PCD confirmed %d violations\n",
+			seed, res.ICD.SCCs, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("  cycle of %d transactions; blamed: %v\n",
+				len(v.Cycle), res.BlamedMethodNames(prog))
+			break // one is enough for the demo
+		}
+		if len(res.Violations) > 0 {
+			fmt.Println("\nincrement is not conflict-serializable: its read and write can be",
+				"\nsplit by the other thread's update. Guard it with a lock and re-run —",
+				"\nthe checker then reports nothing.")
+			return
+		}
+	}
+	fmt.Println("no violation in these schedules; try more seeds")
+}

@@ -1,0 +1,3 @@
+module doublechecker
+
+go 1.22

@@ -1,0 +1,185 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"doublechecker/internal/eval"
+)
+
+// DCBench runs the dcbench tool: regenerate the paper's evaluation. It
+// returns a process exit code.
+func DCBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "all",
+			"one of: table2, fig7, table3, refine-overhead, arrays, ablations, filter-precision, pcd-only, all")
+		scale      = fs.Float64("scale", 0.5, "workload scale factor")
+		trials     = fs.Int("trials", 5, "performance trials per configuration")
+		stable     = fs.Int("stable", 4, "consecutive quiet trials ending refinement (paper: 10)")
+		firstRuns  = fs.Int("first-runs", 10, "first runs feeding multi-run mode's second run")
+		benchmarks = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		csvDir     = fs.String("csv", "", "also write machine-readable CSVs into this directory")
+		budget     = fs.Int64("budget-kb", 0, "model a heap limit: flag Figure 7 rows whose live analysis bytes exceed this (KiB)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts := eval.Options{
+		Scale:        *scale,
+		PerfTrials:   *trials,
+		RefineStable: *stable,
+		FirstRuns:    *firstRuns,
+		MemoryBudget: *budget * 1024,
+	}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "dcbench:", err)
+			return 1
+		}
+	}
+	if code := runExperiments(*experiment, *csvDir, eval.NewRunner(opts), stdout, stderr); code != 0 {
+		return code
+	}
+	return 0
+}
+
+// runExperiments dispatches the experiment set; split out for testing.
+func runExperiments(experiment, csvDir string, runner *eval.Runner, stdout, stderr io.Writer) int {
+	writeCSV := func(name, content string) bool {
+		if csvDir == "" {
+			return true
+		}
+		path := filepath.Join(csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(stderr, "dcbench:", err)
+			return false
+		}
+		fmt.Fprintf(stdout, "[wrote %s]\n", path)
+		return true
+	}
+	run := func(name string, f func() (string, error)) bool {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(stderr, "dcbench: %s: %v\n", name, err)
+			return false
+		}
+		fmt.Fprintln(stdout, out)
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return true
+	}
+
+	all := experiment == "all"
+	ran := false
+	ok := true
+	if ok && (all || experiment == "table2") {
+		ok = run("table2", func() (string, error) {
+			d, err := runner.Table2()
+			if err != nil {
+				return "", err
+			}
+			if !writeCSV("table2.csv", d.CSVTable2()) {
+				return "", fmt.Errorf("csv write failed")
+			}
+			return d.RenderTable2(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "fig7") {
+		ok = run("fig7", func() (string, error) {
+			d, err := runner.Figure7()
+			if err != nil {
+				return "", err
+			}
+			if !writeCSV("fig7.csv", d.CSVFigure7()) {
+				return "", fmt.Errorf("csv write failed")
+			}
+			return d.RenderFigure7(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "table3") {
+		ok = run("table3", func() (string, error) {
+			d, err := runner.Table3()
+			if err != nil {
+				return "", err
+			}
+			if !writeCSV("table3.csv", d.CSVTable3()) {
+				return "", fmt.Errorf("csv write failed")
+			}
+			return d.RenderTable3(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "refine-overhead") {
+		ok = run("refine-overhead", func() (string, error) {
+			d, err := runner.RefinementStages()
+			if err != nil {
+				return "", err
+			}
+			return d.RenderRefineStages(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "arrays") {
+		ok = run("arrays", func() (string, error) {
+			d, err := runner.Arrays()
+			if err != nil {
+				return "", err
+			}
+			return d.RenderArrays(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "ablations") {
+		ok = run("ablations", func() (string, error) {
+			d, err := runner.Ablations()
+			if err != nil {
+				return "", err
+			}
+			if !writeCSV("ablations.csv", d.CSVAblations()) {
+				return "", fmt.Errorf("csv write failed")
+			}
+			return d.RenderAblations(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "filter-precision") {
+		ok = run("filter-precision", func() (string, error) {
+			d, err := runner.FilterPrecision()
+			if err != nil {
+				return "", err
+			}
+			return d.RenderFilterPrecision(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "pcd-only") {
+		ok = run("pcd-only", func() (string, error) {
+			d, err := runner.PCDOnly()
+			if err != nil {
+				return "", err
+			}
+			return d.RenderPCDOnly(), nil
+		})
+		ran = true
+	}
+	if !ok {
+		return 1
+	}
+	if !ran {
+		fmt.Fprintf(stderr, "dcbench: unknown experiment %q\n", experiment)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"doublechecker/internal/lang"
+	"doublechecker/internal/spec"
+	"doublechecker/internal/vm"
+	"doublechecker/internal/workloads"
+)
+
+// DCGen runs the dcgen tool: list the built-in benchmarks or dump one as
+// workload-language source. It returns a process exit code.
+func DCGen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dcgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list  = fs.Bool("list", false, "list available benchmarks")
+		scale = fs.Float64("scale", 0.2, "workload scale factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, name := range workloads.All() {
+			w, _ := workloads.Get(name)
+			fmt.Fprintf(stdout, "%-12s %s\n", w.Name, w.Desc)
+		}
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: dcgen [-scale S] <benchmark>   (or dcgen -list)")
+		return 2
+	}
+	built, err := workloads.Build(fs.Arg(0), *scale)
+	if err != nil {
+		fmt.Fprintln(stderr, "dcgen:", err)
+		return 1
+	}
+	// The dumped `atomic` markers reflect the paper-style initial
+	// specification (minus the benchmark's documented exclusions), so
+	// `dcheck file.dcp` checks the same thing the harness does.
+	s := spec.Initial(built.Prog)
+	if err := s.ExcludeByName(built.InitialExclusions...); err != nil {
+		fmt.Fprintln(stderr, "dcgen:", err)
+		return 1
+	}
+	f := lang.FromProgram(built.Prog, func(m vm.MethodID) bool { return s.Atomic(m) })
+	fmt.Fprint(stdout, lang.Print(f))
+	return 0
+}

@@ -1,0 +1,199 @@
+// Package cli implements the command-line tools' logic behind injectable
+// writers, so cmd/dcheck, cmd/dcbench and cmd/dcgen stay one-line mains and
+// the flag handling, file handling and output formatting are unit-tested.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/cost"
+	"doublechecker/internal/lang"
+	"doublechecker/internal/spec"
+	"doublechecker/internal/vm"
+)
+
+// DCheck runs the dcheck tool: parse a .dcp program, lint it, and run the
+// selected checker configuration (or iterative refinement). It returns a
+// process exit code.
+func DCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		analysisName = fs.String("analysis", "dc-single",
+			"checker: baseline, velodrome, velodrome-unsound, dc-single, dc-first, dc-second, velodrome-second, pcd-only")
+		seed    = fs.Int64("seed", 1, "schedule seed")
+		trials  = fs.Int("trials", 1, "number of trials (distinct seeds starting at -seed)")
+		sticky  = fs.Float64("switch", 0.1, "scheduler switch probability in (0,1]")
+		refine  = fs.Bool("refine", false, "run iterative specification refinement instead of a plain check")
+		lint    = fs.Bool("lint", false, "only run static well-formedness checks and exit")
+		costly  = fs.Bool("cost", false, "report modelled cost (normalized against an uninstrumented run)")
+		verbose = fs.Bool("v", false, "print a timeline explanation for each violation")
+		dot     = fs.Bool("dot", false, "emit the first violation as a Graphviz digraph and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: dcheck [flags] program.dcp")
+		fs.PrintDefaults()
+		return 2
+	}
+	err := runDCheck(dcheckOpts{
+		path: fs.Arg(0), analysis: *analysisName, seed: *seed, trials: *trials,
+		sticky: *sticky, refine: *refine, lintOnly: *lint, costly: *costly,
+		verbose: *verbose, dot: *dot,
+	}, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "dcheck:", err)
+		return 1
+	}
+	return 0
+}
+
+type dcheckOpts struct {
+	path                                   string
+	analysis                               string
+	seed                                   int64
+	trials                                 int
+	sticky                                 float64
+	refine, lintOnly, costly, verbose, dot bool
+}
+
+func runDCheck(o dcheckOpts, stdout, stderr io.Writer) error {
+	src, err := os.ReadFile(o.path)
+	if err != nil {
+		return err
+	}
+	file, err := lang.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("%s:%v", o.path, err)
+	}
+	if warns := lang.Lint(file); len(warns) > 0 {
+		for _, w := range warns {
+			fmt.Fprintf(stderr, "%s:%s\n", o.path, w)
+		}
+		if o.lintOnly {
+			return fmt.Errorf("%d lint warning(s)", len(warns))
+		}
+	} else if o.lintOnly {
+		fmt.Fprintln(stdout, "lint: clean")
+		return nil
+	}
+	unit, err := lang.Lower(file)
+	if err != nil {
+		return fmt.Errorf("%s:%v", o.path, err)
+	}
+	prog := unit.Prog
+	analysis, err := core.ParseAnalysis(o.analysis)
+	if err != nil {
+		return err
+	}
+
+	sp := spec.New(prog)
+	atomicSet := make(map[string]bool, len(unit.AtomicMethods))
+	for _, n := range unit.AtomicMethods {
+		atomicSet[n] = true
+	}
+	for _, m := range prog.Methods {
+		if !atomicSet[m.Name] {
+			sp.Exclude(m.ID)
+		}
+	}
+	fmt.Fprintf(stdout, "program %s: %d methods (%d atomic), %d threads, %d objects\n",
+		prog.Name, len(prog.Methods), sp.Size(), len(prog.Threads), prog.NumObjects)
+
+	if o.refine {
+		return runRefine(prog, sp, o.sticky, stdout)
+	}
+
+	blamed := make(map[string]bool)
+	totalViolations := 0
+	for t := 0; t < o.trials; t++ {
+		s := o.seed + int64(t)
+		var meter *cost.Meter
+		var baseTotal cost.Units
+		if o.costly {
+			base := cost.NewMeter(cost.Default())
+			if _, err := core.Run(prog, core.Config{
+				Analysis: core.Baseline, Sched: vm.NewSticky(s, o.sticky),
+				Atomic: sp.Atomic, Meter: base,
+			}); err != nil {
+				return err
+			}
+			baseTotal = base.Total()
+			meter = cost.NewMeter(cost.Default())
+		}
+		res, err := core.Run(prog, core.Config{
+			Analysis: analysis,
+			Sched:    vm.NewSticky(s, o.sticky),
+			Atomic:   sp.Atomic,
+			Meter:    meter,
+		})
+		if err != nil {
+			return err
+		}
+		totalViolations += len(res.Violations)
+		for m := range res.BlamedMethods {
+			blamed[prog.MethodName(m)] = true
+		}
+		if o.dot && len(res.Violations) > 0 {
+			fmt.Fprint(stdout, lang.ViolationDot(unit, res.Violations[0]))
+			return nil
+		}
+		if o.verbose {
+			for _, v := range res.Violations {
+				fmt.Fprintf(stdout, "--- seed %d ---\n%s", s, lang.ExplainViolation(unit, v))
+			}
+		}
+		if o.costly {
+			fmt.Fprintf(stdout, "  seed %d: normalized execution time %.2fx (GC %.0f%%)\n",
+				s, res.Cost.Normalized(baseTotal), 100*res.Cost.GCFraction())
+		}
+	}
+	fmt.Fprintf(stdout, "%d dynamic violations across %d trial(s)\n", totalViolations, o.trials)
+	if len(blamed) > 0 {
+		names := make([]string, 0, len(blamed))
+		for n := range blamed {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stdout, "blamed methods: %v\n", names)
+	} else {
+		fmt.Fprintln(stdout, "no atomicity violations detected")
+	}
+	return nil
+}
+
+func runRefine(prog *vm.Program, initial *spec.Spec, sticky float64, stdout io.Writer) error {
+	check := func(sp *spec.Spec, trial int) ([]vm.MethodID, error) {
+		res, err := core.Run(prog, core.Config{
+			Analysis: core.DCSingle,
+			Sched:    vm.NewSticky(int64(trial), sticky),
+			Atomic:   sp.Atomic,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out []vm.MethodID
+		for m := range res.BlamedMethods {
+			out = append(out, m)
+		}
+		return out, nil
+	}
+	res, err := spec.Refine(initial, check, spec.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "refinement: %d trials, %d steps, %d methods blamed\n",
+		res.Trials, res.Steps, len(res.Blamed))
+	for _, m := range res.ExclusionOrder {
+		fmt.Fprintf(stdout, "  removed from specification: %s\n", prog.MethodName(m))
+	}
+	fmt.Fprintf(stdout, "final specification: %d atomic methods\n", res.Final.Size())
+	return nil
+}

@@ -1,0 +1,358 @@
+// Package core assembles the checkers into the configurations the paper
+// evaluates: the Velodrome baseline (sound and unsound variants),
+// DoubleChecker's single-run mode (ICD+PCD over one execution), the first
+// run of multi-run mode (ICD only, no logging), the second run of multi-run
+// mode (ICD+PCD restricted to the first run's static transaction
+// information), Velodrome as a second run, and the PCD-only straw man
+// (§5.4). It is the public surface the command-line tools, examples, and
+// the evaluation harness drive.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"doublechecker/internal/cost"
+	"doublechecker/internal/icd"
+	"doublechecker/internal/pcd"
+	"doublechecker/internal/txn"
+	"doublechecker/internal/velodrome"
+	"doublechecker/internal/vm"
+)
+
+// Analysis selects which checker configuration to attach to the execution.
+type Analysis int
+
+const (
+	// Baseline runs the program uninstrumented (the "Unmodified Jikes RVM"
+	// bar of Figure 7).
+	Baseline Analysis = iota
+	// Velodrome is the sound and precise baseline checker.
+	Velodrome
+	// VelodromeUnsound is the no-sync-when-unchanged variant (§5.3).
+	VelodromeUnsound
+	// DCSingle is DoubleChecker's single-run mode: ICD with logging + PCD.
+	DCSingle
+	// DCFirst is the first run of multi-run mode: ICD only, no logging.
+	DCFirst
+	// DCSecond is the second run of multi-run mode: ICD+PCD restricted by
+	// the first run's static transaction information.
+	DCSecond
+	// VeloSecond runs Velodrome restricted by first-run output (§5.3
+	// compares this against DCSecond).
+	VeloSecond
+	// PCDOnly is the §5.4 straw man: logging ICD, but PCD processes every
+	// transaction instead of only ICD's SCCs.
+	PCDOnly
+)
+
+var analysisNames = map[Analysis]string{
+	Baseline:         "baseline",
+	Velodrome:        "velodrome",
+	VelodromeUnsound: "velodrome-unsound",
+	DCSingle:         "dc-single",
+	DCFirst:          "dc-first",
+	DCSecond:         "dc-second",
+	VeloSecond:       "velodrome-second",
+	PCDOnly:          "pcd-only",
+}
+
+func (a Analysis) String() string {
+	if s, ok := analysisNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Analysis(%d)", int(a))
+}
+
+// ParseAnalysis converts a CLI name to an Analysis.
+func ParseAnalysis(s string) (Analysis, error) {
+	for a, name := range analysisNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown analysis %q", s)
+}
+
+// Config configures one checked execution.
+type Config struct {
+	// Analysis selects the checker configuration.
+	Analysis Analysis
+	// Seed drives the default scheduler; distinct seeds model the paper's
+	// run-to-run nondeterminism.
+	Seed int64
+	// Sched overrides the scheduler (default: vm.NewRandom(Seed)).
+	Sched vm.Scheduler
+	// Atomic is the atomicity specification predicate.
+	Atomic func(vm.MethodID) bool
+	// Filter carries the first run's static transaction information into
+	// DCSecond / VeloSecond; ignored by other analyses.
+	Filter *txn.Filter
+	// Meter, if non-nil, accumulates modelled cost; required for
+	// performance experiments, optional for correctness runs.
+	Meter *cost.Meter
+	// ReplayOrder selects PCD's replay strategy (default BySeq).
+	ReplayOrder pcd.ReplayOrder
+	// InstrumentArrays enables array instrumentation with element
+	// conflation and disables cycle detection (§5.4; Velodrome analyses
+	// only — the base experiment excludes arrays everywhere).
+	InstrumentArrays bool
+	// DisableCycleDetection turns off cycle/SCC detection without touching
+	// instrumentation — the §5.4 array experiment compares both of its
+	// configurations with detection off.
+	DisableCycleDetection bool
+	// GCPeriod overrides the checkers' transaction-GC period.
+	GCPeriod uint64
+	// MaxSteps bounds the execution (0: vm default).
+	MaxSteps uint64
+
+	// NoElision, NoUnaryMerge and EagerDetect are ablation knobs for the
+	// paper's design choices (log duplicate elision, unary-transaction
+	// merging, deferred cycle detection); see eval's ablation experiment.
+	NoElision    bool
+	NoUnaryMerge bool
+	EagerDetect  bool
+	// ParallelPCD models the paper's §5.3 suggestion of running PCD off
+	// the critical path: PCD's cost is charged to a separate meter
+	// reported via Result.OffCritical instead of the main meter.
+	ParallelPCD bool
+	// VelodromeIncremental selects the Pearce–Kelly incremental cycle
+	// engine for Velodrome analyses (an extension beyond the paper; exact
+	// same findings, less graph work).
+	VelodromeIncremental bool
+	// MemoryBudget, when positive and a Meter is attached, marks the run
+	// out-of-memory once live analysis bytes exceed it — the 32-bit heap
+	// phenomenon of §5.1 (the run continues; Result.Cost.OOM reports it).
+	MemoryBudget int64
+}
+
+// Result reports one checked execution.
+type Result struct {
+	Analysis   Analysis
+	Violations []txn.Violation
+	// BlamedMethods is the union of blamed methods across violations —
+	// the "static violations" Table 2 counts.
+	BlamedMethods map[vm.MethodID]bool
+
+	VMStats  vm.Stats
+	Cost     cost.Report
+	BaseCost cost.Units // program-only cost (filled by harness when known)
+
+	// Checker-specific statistics (zero-valued when not applicable).
+	ICD  icd.Stats
+	PCD  pcd.Stats
+	Velo velodrome.Stats
+	Txn  txn.Stats
+
+	// StaticMethods and StaticUnary are the first run's output (DCFirst;
+	// also populated by DCSingle/DCSecond since ICD computes them anyway).
+	// The map value counts how many imprecise SCCs the method's
+	// transactions appeared in.
+	StaticMethods map[vm.MethodID]int
+	StaticUnary   bool
+
+	// OffCritical is the modelled cost moved off the program's critical
+	// path by ParallelPCD (zero otherwise).
+	OffCritical cost.Report
+}
+
+// BlamedMethodNames resolves blamed methods against prog, sorted.
+func (r *Result) BlamedMethodNames(prog *vm.Program) []string {
+	names := make([]string, 0, len(r.BlamedMethods))
+	for m := range r.BlamedMethods {
+		names = append(names, prog.MethodName(m))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes prog once under cfg and returns the result.
+func Run(prog *vm.Program, cfg Config) (*Result, error) {
+	sched := cfg.Sched
+	if sched == nil {
+		sched = vm.NewRandom(cfg.Seed)
+	}
+	if cfg.Meter != nil && cfg.MemoryBudget > 0 {
+		cfg.Meter.SetBudget(cfg.MemoryBudget)
+	}
+	res := &Result{Analysis: cfg.Analysis, BlamedMethods: make(map[vm.MethodID]bool)}
+
+	var inst vm.Instrumentation
+	var collect func()
+
+	switch cfg.Analysis {
+	case Baseline:
+		inst = vm.NopInst{}
+		collect = func() {}
+
+	case Velodrome, VelodromeUnsound, VeloSecond:
+		opts := velodrome.Options{
+			Unsound:           cfg.Analysis == VelodromeUnsound,
+			InstrumentArrays:  cfg.InstrumentArrays,
+			GCPeriod:          cfg.GCPeriod,
+			IncrementalCycles: cfg.VelodromeIncremental,
+		}
+		if cfg.InstrumentArrays || cfg.DisableCycleDetection {
+			opts.DisableCycleDetection = true
+		}
+		if cfg.Analysis == VeloSecond {
+			opts.Filter = cfg.Filter
+		}
+		v := velodrome.NewChecker(prog, cfg.Meter, opts)
+		inst = v
+		collect = func() {
+			res.Violations = v.Violations()
+			res.Velo = v.Stats()
+			res.Txn = v.TxnStats()
+		}
+
+	case DCSingle, DCFirst, DCSecond, PCDOnly:
+		var p *pcd.Checker
+		logging := cfg.Analysis != DCFirst
+		opts := icd.Options{Logging: logging, GCPeriod: cfg.GCPeriod}
+		if cfg.InstrumentArrays {
+			opts.InstrumentArrays = true
+			opts.DisableSCC = true
+		}
+		if cfg.DisableCycleDetection {
+			opts.DisableSCC = true
+		}
+		if cfg.Analysis == DCSecond {
+			opts.Filter = cfg.Filter
+		}
+		if cfg.Analysis == PCDOnly {
+			// The straw man replays everything at program end; ICD's SCCs
+			// are ignored, and GC must be effectively off so logs survive,
+			// which is exactly why the paper's PCD-only runs exhaust
+			// memory.
+			opts.GCPeriod = 1 << 62
+		}
+		opts.NoElision = cfg.NoElision
+		opts.NoUnaryMerge = cfg.NoUnaryMerge
+		opts.EagerDetect = cfg.EagerDetect
+		var pcdMeter = cfg.Meter
+		var offMeter *cost.Meter
+		if cfg.ParallelPCD && cfg.Meter != nil {
+			offMeter = cost.NewMeter(cfg.Meter.Model())
+			pcdMeter = offMeter
+		}
+		if logging && cfg.Analysis != PCDOnly {
+			p = pcd.NewChecker(pcdMeter, cfg.ReplayOrder)
+			opts.OnSCC = func(scc []*txn.Txn) { p.Process(scc) }
+		}
+		ic := icd.NewChecker(prog, cfg.Meter, opts)
+		if cfg.Analysis == PCDOnly {
+			p = pcd.NewChecker(pcdMeter, cfg.ReplayOrder)
+		}
+		inst = ic
+		collect = func() {
+			res.ICD = ic.Stats()
+			res.Txn = ic.TxnStats()
+			if cfg.Analysis == PCDOnly {
+				p.Process(ic.Manager().All())
+			}
+			if p != nil {
+				res.Violations = p.Violations()
+				res.PCD = p.Stats()
+			}
+			res.StaticMethods, res.StaticUnary = ic.StaticInfo()
+			if offMeter != nil {
+				res.OffCritical = offMeter.Report()
+			}
+		}
+
+	default:
+		return nil, fmt.Errorf("core: unknown analysis %v", cfg.Analysis)
+	}
+
+	stats, err := vm.NewExec(prog, vm.Config{
+		Sched:    sched,
+		Inst:     inst,
+		Atomic:   cfg.Atomic,
+		Meter:    cfg.Meter,
+		MaxSteps: cfg.MaxSteps,
+	}).Run()
+	if stats != nil {
+		res.VMStats = *stats
+	}
+	if err != nil {
+		return res, err
+	}
+	collect()
+	for _, v := range res.Violations {
+		for _, m := range v.BlamedMethods {
+			res.BlamedMethods[m] = true
+		}
+	}
+	if cfg.Meter != nil {
+		res.Cost = cfg.Meter.Report()
+	}
+	return res, nil
+}
+
+// UnionFilter merges the static transaction information of several first
+// runs into the filter for a second run (§5.1: "we execute 10 trials of the
+// first run, take the union of the transactions reported as part of ICD
+// cycles, and use it as input for the second run").
+func UnionFilter(firsts []*Result) *txn.Filter {
+	return UnionFilterMinSupport(firsts, 1)
+}
+
+// UnionFilterMinSupport is UnionFilter with a support threshold: a method
+// joins the filter only if its transactions appeared in at least minSupport
+// imprecise SCCs summed across the first runs. minSupport 1 is the paper's
+// behavior; higher values implement its future-work suggestion of
+// communicating potentially imprecise cycles more precisely, trading
+// second-run coverage for less instrumentation.
+func UnionFilterMinSupport(firsts []*Result, minSupport int) *txn.Filter {
+	counts := make(map[vm.MethodID]int)
+	unary := false
+	for _, r := range firsts {
+		for m, n := range r.StaticMethods {
+			counts[m] += n
+		}
+		if r.StaticUnary {
+			unary = true
+		}
+	}
+	f := &txn.Filter{Methods: make(map[vm.MethodID]bool), Unary: unary}
+	for m, n := range counts {
+		if n >= minSupport {
+			f.Methods[m] = true
+		}
+	}
+	if len(f.Methods) == 0 {
+		f.Unary = false // nothing monitored: skip unary instrumentation too
+	}
+	return f
+}
+
+// MultiRun executes the full multi-run pipeline: firstTrials first runs
+// (seeds seedBase..seedBase+firstTrials-1), union of their static
+// information, then one second run with seed secondSeed. Meters, if
+// wanted, must be attached per run by the caller via the returned configs —
+// this helper targets correctness flows; the evaluation harness drives the
+// runs itself for cost accounting.
+func MultiRun(prog *vm.Program, atomic func(vm.MethodID) bool, firstTrials int, seedBase, secondSeed int64) (firsts []*Result, second *Result, err error) {
+	for i := 0; i < firstTrials; i++ {
+		r, err := Run(prog, Config{
+			Analysis: DCFirst,
+			Seed:     seedBase + int64(i),
+			Atomic:   atomic,
+		})
+		if err != nil {
+			return firsts, nil, fmt.Errorf("first run %d: %w", i, err)
+		}
+		firsts = append(firsts, r)
+	}
+	second, err = Run(prog, Config{
+		Analysis: DCSecond,
+		Seed:     secondSeed,
+		Atomic:   atomic,
+		Filter:   UnionFilter(firsts),
+	})
+	if err != nil {
+		return firsts, second, fmt.Errorf("second run: %w", err)
+	}
+	return firsts, second, nil
+}

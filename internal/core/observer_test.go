@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"doublechecker/internal/vm"
+)
+
+// TestUnaryObserverImplicatesTransaction documents a subtle — and faithful —
+// behavior of Velodrome-style conflict serializability: a NON-atomic
+// observer thread that reads two fields around a locked transaction creates
+// a cycle through its unary transactions (intra-thread program-order edges
+// count as dependences), so the locked transaction itself gets blamed. Both
+// checkers must agree on it; this pins the behavior so a future
+// "optimization" doesn't silently diverge from the Velodrome semantics the
+// paper follows.
+func TestUnaryObserverImplicatesTransaction(t *testing.T) {
+	b := vm.NewBuilder("bank")
+	checking := b.Object()
+	savings := b.Object()
+	ledger := b.Object()
+	transfer := b.Method("transfer")
+	transfer.Acquire(ledger).
+		Read(checking, 0).Write(checking, 0).
+		Read(savings, 0).Write(savings, 0).
+		Release(ledger)
+	audit := b.Method("audit") // NOT atomic: a plain observer
+	audit.Read(checking, 0).Compute(12).Read(savings, 0).Compute(12).Write(checking, 1)
+	t0 := b.Method("teller0")
+	t0.CallN(transfer, 25)
+	t1 := b.Method("teller1")
+	t1.CallN(transfer, 25)
+	aud := b.Method("auditor")
+	for i := 0; i < 12; i++ {
+		aud.Call(audit)
+		aud.Compute(5)
+	}
+	b.Thread(t0)
+	b.Thread(t1)
+	b.Thread(aud)
+	prog := b.MustBuild()
+	trID := prog.MethodByName("transfer").ID
+	atomic := func(m vm.MethodID) bool { return m == trID }
+
+	foundSeed := int64(-1)
+	for seed := int64(0); seed < 20; seed++ {
+		r, err := Run(prog, Config{Analysis: DCSingle, Seed: seed, Atomic: atomic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Violations) > 0 {
+			foundSeed = seed
+			if names := r.BlamedMethodNames(prog); len(names) != 1 || names[0] != "transfer" {
+				t.Errorf("seed %d: blamed %v, want [transfer]", seed, names)
+			}
+			break
+		}
+	}
+	if foundSeed < 0 {
+		t.Skip("no schedule interleaved the observer inside a transfer; nothing to assert")
+	}
+	velo, err := Run(prog, Config{Analysis: Velodrome, Seed: foundSeed, Atomic: atomic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(velo.Violations) == 0 {
+		t.Error("Velodrome must agree on the same interleaving")
+	}
+}

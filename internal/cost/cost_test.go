@@ -1,0 +1,154 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	m := NewMeter(Default())
+	m.Charge(10)
+	m.Charge(5)
+	m.ChargeN(3, 4)
+	if got := m.Total(); got != 27 {
+		t.Errorf("total = %d, want 27", got)
+	}
+}
+
+func TestGCTriggersOnAllocationVolume(t *testing.T) {
+	model := Default()
+	model.GCTriggerBytes = 1000
+	model.GCPerLiveKB = 100
+	m := NewMeter(model)
+	m.Alloc(999)
+	if m.GC() != 0 {
+		t.Fatalf("no GC expected below trigger, got %d", m.GC())
+	}
+	m.Alloc(1)
+	if m.GC() == 0 {
+		t.Fatal("GC expected at trigger volume")
+	}
+	r := m.Report()
+	if r.GCCount != 1 {
+		t.Errorf("gcCount = %d, want 1", r.GCCount)
+	}
+}
+
+func TestGCCostScalesWithLiveBytes(t *testing.T) {
+	model := Default()
+	model.GCTriggerBytes = 1 << 10
+	m1 := NewMeter(model)
+	m1.Alloc(1 << 10) // one GC with ~1KB live
+	small := m1.GC()
+
+	m2 := NewMeter(model)
+	m2.Alloc(1 << 20) // many GCs, growing live set
+	m2.Free(1 << 19)
+	big := m2.GC()
+	if big <= small {
+		t.Errorf("GC with large live set (%d) should exceed small (%d)", big, small)
+	}
+}
+
+func TestFreeReducesLiveBytes(t *testing.T) {
+	model := Default()
+	model.GCTriggerBytes = 0 // disable collections for this test
+	m := NewMeter(model)
+	m.Alloc(500)
+	m.Free(200)
+	if m.LiveBytes() != 300 {
+		t.Errorf("live = %d, want 300", m.LiveBytes())
+	}
+	m.Free(10000) // over-free clamps at zero
+	if m.LiveBytes() != 0 {
+		t.Errorf("live = %d, want 0 after over-free", m.LiveBytes())
+	}
+	if m.Report().PeakBytes != 500 {
+		t.Errorf("peak = %d, want 500", m.Report().PeakBytes)
+	}
+}
+
+func TestBudgetOOM(t *testing.T) {
+	model := Default()
+	model.GCTriggerBytes = 0
+	m := NewMeter(model)
+	m.SetBudget(100)
+	m.Alloc(99)
+	if m.Report().OOM {
+		t.Fatal("not OOM below budget")
+	}
+	m.Alloc(2)
+	if !m.Report().OOM {
+		t.Fatal("OOM expected above budget")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	r := Report{Total: 360}
+	if got := r.Normalized(100); got != 3.6 {
+		t.Errorf("normalized = %v, want 3.6", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero baseline should panic")
+		}
+	}()
+	r.Normalized(0)
+}
+
+func TestGCFraction(t *testing.T) {
+	r := Report{Total: 200, GC: 50}
+	if got := r.GCFraction(); got != 0.25 {
+		t.Errorf("gc fraction = %v, want 0.25", got)
+	}
+	if (Report{}).GCFraction() != 0 {
+		t.Error("empty report GC fraction should be 0")
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	// The calibration invariants the evaluation depends on.
+	d := Default()
+	if d.OctetFastPath >= d.VeloSync {
+		t.Error("Octet fast path must be much cheaper than Velodrome sync")
+	}
+	if d.OctetConflictImplicit >= d.OctetConflictExplicit {
+		t.Error("implicit protocol must be cheaper than explicit round trip")
+	}
+	if d.VeloNoSyncPath >= d.VeloSync {
+		t.Error("unsound variant must be cheaper than sound sync")
+	}
+	if d.LogElide >= d.LogAppend {
+		t.Error("eliding must be cheaper than appending")
+	}
+}
+
+// TestPropertyTotalsMonotone: charging and allocating never decreases totals.
+func TestPropertyTotalsMonotone(t *testing.T) {
+	f := func(charges []uint16, allocs []uint16) bool {
+		m := NewMeter(Default())
+		prev := Units(0)
+		for i := range charges {
+			m.Charge(Units(charges[i]))
+			if i < len(allocs) {
+				m.Alloc(int64(allocs[i]))
+			}
+			if m.Total() < prev {
+				return false
+			}
+			prev = m.Total()
+		}
+		return m.Total() >= m.GC()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	m := NewMeter(Default())
+	m.Charge(100)
+	if s := m.Report().String(); s == "" {
+		t.Error("report string should not be empty")
+	}
+}

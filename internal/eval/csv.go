@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CSV exporters: machine-readable versions of each experiment, one row per
+// data point, suitable for plotting Figure 7-style charts from the
+// regenerated data. All use encoding/csv so quoting is handled uniformly.
+
+// CSVTable2 renders experiment E2 as CSV.
+func (d *Table2Data) CSVTable2() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{
+		"benchmark", "velodrome", "velodrome_unique", "single_run",
+		"multi_run", "multi_run_unique",
+		"paper_velodrome", "paper_single", "paper_multi",
+	})
+	for _, r := range d.Rows {
+		_ = w.Write([]string{
+			r.Name,
+			strconv.Itoa(r.Velo), strconv.Itoa(r.VeloUnique), strconv.Itoa(r.Single),
+			strconv.Itoa(r.Multi), strconv.Itoa(r.MultiUniq),
+			strconv.Itoa(r.Paper.Velo), strconv.Itoa(r.Paper.Single), strconv.Itoa(r.Paper.Multi),
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSVFigure7 renders experiment E3 as CSV in long form: one row per
+// (benchmark, configuration).
+func (d *Fig7Data) CSVFigure7() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"benchmark", "configuration", "normalized_time", "gc_fraction", "paper_geomean"})
+	for _, row := range d.Rows {
+		for i, cfg := range d.Configs {
+			_ = w.Write([]string{
+				row.Name, cfg.Label,
+				fmt.Sprintf("%.4f", row.Normalized[i]),
+				fmt.Sprintf("%.4f", row.GCFraction[i]),
+				fmt.Sprintf("%.2f", paperFig7Geomean(cfg.Label)),
+			})
+		}
+	}
+	for i, cfg := range d.Configs {
+		_ = w.Write([]string{
+			"geomean", cfg.Label,
+			fmt.Sprintf("%.4f", d.Geomean[i]),
+			fmt.Sprintf("%.4f", d.GeoGC[i]),
+			fmt.Sprintf("%.2f", paperFig7Geomean(cfg.Label)),
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSVTable3 renders experiment E4 as CSV: one row per (benchmark, run).
+func (d *Table3Data) CSVTable3() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{
+		"benchmark", "run", "regular_tx", "regular_accesses",
+		"nontrans_accesses", "idg_edges", "sccs",
+	})
+	emit := func(name, run string, s Table3Stats) {
+		_ = w.Write([]string{
+			name, run,
+			fmt.Sprintf("%.0f", s.RegularTx), fmt.Sprintf("%.0f", s.RegularAccesses),
+			fmt.Sprintf("%.0f", s.NonTransAcc), fmt.Sprintf("%.0f", s.IDGEdges),
+			fmt.Sprintf("%.0f", s.SCCs),
+		})
+	}
+	fromPaper := func(p PaperTable3) Table3Stats {
+		return Table3Stats{
+			RegularTx: p.RegularTx, RegularAccesses: p.RegularAccesses,
+			NonTransAcc: p.NonTransAcc, IDGEdges: p.IDGEdges, SCCs: p.SCCs,
+		}
+	}
+	for _, r := range d.Rows {
+		emit(r.Name, "single", r.Single)
+		emit(r.Name, "second", r.Second)
+		emit(r.Name, "paper_single", fromPaper(r.Paper))
+		emit(r.Name, "paper_second", fromPaper(r.PaperSecond))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSVAblations renders experiment E11 as CSV.
+func (d *AblationData) CSVAblations() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{
+		"benchmark", "variant", "normalized_time", "log_entries",
+		"log_elided", "transactions", "scc_work", "peak_bytes",
+	})
+	for _, r := range d.Rows {
+		_ = w.Write([]string{
+			r.Benchmark, r.Variant,
+			fmt.Sprintf("%.4f", r.Normalized),
+			strconv.FormatUint(r.LogEntries, 10),
+			strconv.FormatUint(r.LogElided, 10),
+			strconv.FormatUint(r.Txns, 10),
+			strconv.FormatUint(r.SCCWork, 10),
+			strconv.FormatInt(r.PeakBytes, 10),
+		})
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,303 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps harness tests fast.
+func quickOpts(benchmarks ...string) Options {
+	return Options{
+		Scale:        0.25,
+		PerfTrials:   3,
+		StatTrials:   2,
+		RefineStable: 2,
+		FirstRuns:    4,
+		Benchmarks:   benchmarks,
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	r := NewRunner(quickOpts("hsqldb6", "tsp", "philo", "xalan9"))
+	d, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, row := range d.Rows {
+		byName[row.Name] = row
+	}
+	if byName["philo"].Single != 0 {
+		t.Errorf("philo should be clean, got %d", byName["philo"].Single)
+	}
+	if byName["hsqldb6"].Single == 0 {
+		t.Error("hsqldb6 should report violations")
+	}
+	if byName["tsp"].Single == 0 {
+		t.Error("tsp should report violations")
+	}
+	out := d.RenderTable2()
+	if !strings.Contains(out, "hsqldb6") || !strings.Contains(out, "paper") {
+		t.Error("render missing content")
+	}
+}
+
+func TestMultiRunDetectsMost(t *testing.T) {
+	r := NewRunner(quickOpts("hsqldb6", "tsp", "eclipse6"))
+	d, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DetectOverall < 0.4 {
+		t.Errorf("multi-run detection rate %.2f suspiciously low", d.DetectOverall)
+	}
+}
+
+func TestFigure7Quick(t *testing.T) {
+	r := NewRunner(quickOpts("hsqldb6", "moldyn", "philo"))
+	d, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// philo is not compute bound: excluded.
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (philo excluded)", len(d.Rows))
+	}
+	idx := map[string]int{}
+	for i, c := range d.Configs {
+		idx[c.Label] = i
+	}
+	for _, row := range d.Rows {
+		velo := row.Normalized[idx["Velodrome"]]
+		single := row.Normalized[idx["Single-run (ICD+PCD)"]]
+		first := row.Normalized[idx["First run (ICD w/o logging)"]]
+		if !(first > 1 && single > first) {
+			t.Errorf("%s: expected 1 < first(%v) < single(%v)", row.Name, first, single)
+		}
+		if velo < single {
+			t.Errorf("%s: velodrome (%v) should cost more than single-run (%v)", row.Name, velo, single)
+		}
+	}
+	out := d.RenderFigure7()
+	if !strings.Contains(out, "geomean") {
+		t.Error("render missing geomean")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	r := NewRunner(quickOpts("tsp", "jython9"))
+	d, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table3Row{}
+	for _, row := range d.Rows {
+		byName[row.Name] = row
+	}
+	// tsp: non-transactional accesses dominate in single-run mode.
+	if byName["tsp"].Single.NonTransAcc < byName["tsp"].Single.RegularAccesses {
+		t.Errorf("tsp shape wrong: %+v", byName["tsp"].Single)
+	}
+	// jython9: no SCCs, so the second run instruments nothing.
+	if byName["jython9"].Second.RegularAccesses != 0 {
+		t.Errorf("jython9 second run should instrument nothing: %+v", byName["jython9"].Second)
+	}
+	if out := d.RenderTable3(); !strings.Contains(out, "tsp") {
+		t.Error("render missing tsp")
+	}
+}
+
+func TestRefinementStagesQuick(t *testing.T) {
+	r := NewRunner(quickOpts("hsqldb6"))
+	d, err := r.RefinementStages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Initial <= 1 || d.Final <= 1 {
+		t.Errorf("stages: %+v", d)
+	}
+	if out := d.RenderRefineStages(); !strings.Contains(out, "strictest") {
+		t.Error("render broken")
+	}
+}
+
+func TestArraysQuick(t *testing.T) {
+	r := NewRunner(quickOpts("sor", "moldyn"))
+	d, err := r.Arrays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SingleWith <= d.SingleBase {
+		t.Errorf("array instrumentation should add single-run cost: %+v", d)
+	}
+	if d.VeloWith <= d.VeloBase {
+		t.Errorf("array instrumentation should add velodrome cost: %+v", d)
+	}
+	if out := d.RenderArrays(); !strings.Contains(out, "with arrays") {
+		t.Error("render broken")
+	}
+}
+
+func TestPCDOnlyQuick(t *testing.T) {
+	r := NewRunner(quickOpts("hsqldb6", "montecarlo"))
+	d, err := r.PCDOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PCDOnly <= d.SingleBase {
+		t.Errorf("PCD-only must cost more than filtered single-run: %+v", d)
+	}
+	if out := d.RenderPCDOnly(); !strings.Contains(out, "straw man") {
+		t.Error("render broken")
+	}
+}
+
+func TestStatisticsHelpers(t *testing.T) {
+	if got := geomean([]float64{2, 8}); got < 3.99 || got > 4.01 {
+		t.Errorf("geomean = %v", got)
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("median even = %v", got)
+	}
+	if got := mean([]float64{1, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if geomean(nil) != 0 || median(nil) != 0 || mean(nil) != 0 {
+		t.Error("empty inputs should be 0")
+	}
+}
+
+func TestPaperTablesComplete(t *testing.T) {
+	for _, name := range []string{"eclipse6", "tsp", "raytracer"} {
+		if _, ok := paperTable2[name]; !ok {
+			t.Errorf("paperTable2 missing %s", name)
+		}
+		if _, ok := paperTable3[name]; !ok {
+			t.Errorf("paperTable3 missing %s", name)
+		}
+	}
+	if len(paperTable2) != 19 || len(paperTable3) != 19 {
+		t.Errorf("paper tables: %d / %d entries, want 19", len(paperTable2), len(paperTable3))
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	r := NewRunner(quickOpts("tsp"))
+	d, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != len(ablationVariants) {
+		t.Fatalf("rows = %d, want %d", len(d.Rows), len(ablationVariants))
+	}
+	byVariant := map[string]AblationRow{}
+	for _, row := range d.Rows {
+		byVariant[row.Variant] = row
+	}
+	ref := byVariant["single-run (reference)"]
+	if noMerge := byVariant["no unary merging"]; noMerge.Txns <= ref.Txns {
+		t.Errorf("no-merge txns %d should exceed reference %d", noMerge.Txns, ref.Txns)
+	}
+	if noEl := byVariant["no log elision"]; noEl.LogElided != 0 || noEl.LogEntries <= ref.LogEntries {
+		t.Errorf("no-elision row wrong: %+v vs ref %+v", noEl, ref)
+	}
+	if eager := byVariant["eager cycle detection"]; eager.SCCWork <= ref.SCCWork {
+		t.Errorf("eager SCC work %d should exceed reference %d", eager.SCCWork, ref.SCCWork)
+	}
+	if noGC := byVariant["no transaction GC"]; noGC.PeakBytes < ref.PeakBytes {
+		t.Errorf("no-GC peak %d should not undercut reference %d", noGC.PeakBytes, ref.PeakBytes)
+	}
+	if out := d.RenderAblations(); !strings.Contains(out, "no unary merging") {
+		t.Error("render broken")
+	}
+}
+
+func TestFilterPrecisionQuick(t *testing.T) {
+	r := NewRunner(quickOpts("eclipse6"))
+	d, err := r.FilterPrecision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 support levels", len(d.Rows))
+	}
+	// Methods chosen must be non-increasing in support.
+	for i := 1; i < len(d.Rows); i++ {
+		if d.Rows[i].MethodsChosen > d.Rows[i-1].MethodsChosen {
+			t.Errorf("support %d selects more methods (%d) than support %d (%d)",
+				d.Rows[i].MinSupport, d.Rows[i].MethodsChosen,
+				d.Rows[i-1].MinSupport, d.Rows[i-1].MethodsChosen)
+		}
+	}
+	if out := d.RenderFilterPrecision(); !strings.Contains(out, "support") {
+		t.Error("render broken")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	r := NewRunner(quickOpts("tsp", "philo"))
+	t2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv2 := t2.CSVTable2()
+	if !strings.Contains(csv2, "benchmark,velodrome") || !strings.Contains(csv2, "tsp,") {
+		t.Errorf("table2 csv:\n%s", csv2)
+	}
+	if got := strings.Count(csv2, "\n"); got != 3 { // header + 2 benchmarks
+		t.Errorf("table2 csv rows = %d", got)
+	}
+	f7, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv7 := f7.CSVFigure7()
+	if !strings.Contains(csv7, "geomean,Velodrome") {
+		t.Errorf("fig7 csv missing geomean rows:\n%s", csv7)
+	}
+	t3, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv3 := t3.CSVTable3()
+	for _, want := range []string{"tsp,single", "tsp,second", "tsp,paper_single", "tsp,paper_second"} {
+		if !strings.Contains(csv3, want) {
+			t.Errorf("table3 csv missing %q", want)
+		}
+	}
+	abl, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(abl.CSVAblations(), "no unary merging") {
+		t.Error("ablations csv missing variant")
+	}
+}
+
+func TestFigure7OOMBudget(t *testing.T) {
+	opts := quickOpts("avrora9")
+	opts.MemoryBudget = 16 * 1024 // small enough that single-run's logs trip it
+	r := NewRunner(opts)
+	d, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, c := range d.Configs {
+		if c.Label == "Single-run (ICD+PCD)" {
+			idx = i
+		}
+	}
+	if idx < 0 || len(d.Rows) != 1 {
+		t.Fatal("setup")
+	}
+	if !d.Rows[0].OOM[idx] {
+		t.Error("single-run should trip the tiny budget (long-lived logs)")
+	}
+	if !strings.Contains(d.RenderFigure7(), "!") {
+		t.Error("render should flag OOM rows")
+	}
+}

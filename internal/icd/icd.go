@@ -1,0 +1,384 @@
+// Package icd implements DoubleChecker's imprecise cycle detection analysis
+// (paper §3.2).
+//
+// ICD watches every (monitored) access through the Octet barriers and turns
+// Octet's state transitions into edges of the imprecise dependence graph
+// (IDG), whose nodes are transactions. The handlers follow the paper's
+// Figure 4 exactly:
+//
+//   - conflicting transition: edge currTX(respT) -> currTX(reqT); when the
+//     new state is RdEx_reqT, reqT.lastRdEx := currTX(reqT);
+//   - upgrading transition (RdEx_T1 -> RdSh): edge T1.lastRdEx -> currTX(T)
+//     and edge gLastRdSh -> currTX(T); then gLastRdSh := currTX(T);
+//   - fence transition: edge gLastRdSh -> currTX(T).
+//
+// These edges soundly over-approximate every cross-thread dependence (the
+// paper's §3.2.5 soundness argument), at a fraction of the cost of precise
+// tracking: the common case is Octet's read-only fast path.
+//
+// Rather than checking for cycles at every edge, ICD defers detection to
+// transaction end (§3.2.3) and computes the strongly connected component of
+// the just-finished transaction, exploring only finished transactions. Any
+// SCC found is handed to the OnSCC callback (PCD, in single-run mode or the
+// second run of multi-run mode) together with the transactions' read/write
+// logs, which ICD records when logging is enabled (§3.2.4).
+package icd
+
+import (
+	"doublechecker/internal/cost"
+	"doublechecker/internal/graph"
+	"doublechecker/internal/octet"
+	"doublechecker/internal/txn"
+	"doublechecker/internal/vm"
+)
+
+// Options configures an ICD checker.
+type Options struct {
+	// Logging records per-transaction read/write logs so a precise analysis
+	// can replay SCCs (single-run mode and the second run of multi-run
+	// mode). The first run of multi-run mode leaves this off — avoiding
+	// logging is exactly its performance advantage (§3.1).
+	Logging bool
+	// Filter restricts instrumentation for the second run of multi-run
+	// mode; nil instruments everything.
+	Filter *txn.Filter
+	// OnSCC receives each detected SCC (the potential atomicity violation).
+	OnSCC func(scc []*txn.Txn)
+	// GCPeriod runs transaction collection every N instrumented accesses;
+	// 0 uses the default (8192).
+	GCPeriod uint64
+	// InstrumentArrays includes array element accesses, conflating all
+	// elements of an array into object-level state (§5.4). The paper
+	// disables cycle detection in that experiment because conflation makes
+	// it imprecise; callers combine this with DisableSCC.
+	InstrumentArrays bool
+	// DisableSCC turns off SCC detection at transaction end (§5.4 array
+	// experiment).
+	DisableSCC bool
+	// NoElision disables read/write-log duplicate elision (ablation).
+	NoElision bool
+	// NoUnaryMerge makes every non-transactional access its own unary
+	// transaction (ablation).
+	NoUnaryMerge bool
+	// EagerDetect additionally runs a cycle check at every cross-thread
+	// edge occurrence, the strategy the paper rejects in §3.2.3 in favour
+	// of detection at transaction end. Reporting to PCD still happens on
+	// the deferred path (eager hits see incomplete transactions); the knob
+	// exists to measure the cost the paper's design avoids.
+	EagerDetect bool
+}
+
+// Stats counts ICD activity; Table 3's columns come from here.
+type Stats struct {
+	EagerChecks        uint64 // cycle checks under EagerDetect (ablation)
+	EagerNodesExplored uint64
+	RegularTx          uint64 // instrumented regular transactions
+	RegularAccesses    uint64 // instrumented accesses inside regular transactions
+	UnaryAccesses      uint64 // instrumented non-transactional accesses
+	IDGEdges           uint64 // distinct cross-thread IDG edges
+	SCCs               uint64 // SCCs detected (potential violations)
+	SCCTxns            uint64 // total transactions across detected SCCs
+	UnaryInSCC         bool   // any unary transaction in any SCC (multi-run boolean)
+	SCCDetections      uint64 // SCC computations attempted
+	SCCNodesExplored   uint64
+}
+
+// Checker is an ICD instance; it implements vm.Instrumentation.
+type Checker struct {
+	vm.NopInst
+	prog  *vm.Program
+	meter *cost.Meter
+	opts  Options
+
+	mgr *txn.Manager
+	oct *octet.Engine
+
+	lastRdEx  map[vm.ThreadID]*txn.Txn
+	gLastRdSh *txn.Txn
+
+	skipping map[vm.ThreadID]bool
+	exec     *vm.Exec
+
+	// sccMethods accumulates the static transaction information multi-run
+	// mode's first run passes to the second run: the starting methods of
+	// regular transactions involved in any SCC (§3.1), with how many SCCs
+	// each participated in (the paper's future-work suggestion of
+	// communicating imprecise cycles more precisely; core.UnionFilter can
+	// threshold on the counts).
+	sccMethods map[vm.MethodID]int
+
+	stats   Stats
+	sinceGC uint64
+}
+
+// NewChecker returns an ICD checker. meter may be nil.
+func NewChecker(prog *vm.Program, meter *cost.Meter, opts Options) *Checker {
+	if opts.GCPeriod == 0 {
+		opts.GCPeriod = 8192
+	}
+	c := &Checker{
+		prog:       prog,
+		meter:      meter,
+		opts:       opts,
+		lastRdEx:   make(map[vm.ThreadID]*txn.Txn),
+		skipping:   make(map[vm.ThreadID]bool),
+		sccMethods: make(map[vm.MethodID]int),
+	}
+	c.mgr = txn.NewManager(opts.Logging, nil, meter)
+	c.configureManager()
+	c.mgr.OnFinish(c.txnFinished)
+	return c
+}
+
+func (c *Checker) configureManager() {
+	if c.opts.NoElision {
+		c.mgr.DisableElision()
+	}
+	if c.opts.NoUnaryMerge {
+		c.mgr.DisableUnaryMerging()
+	}
+}
+
+// Stats returns ICD counters.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// TxnStats returns the transaction manager's counters.
+func (c *Checker) TxnStats() txn.Stats { return c.mgr.Stats() }
+
+// OctetStats returns the underlying Octet engine's counters (nil-safe only
+// after ProgramStart).
+func (c *Checker) OctetStats() octet.Stats { return c.oct.Stats() }
+
+// StaticInfo returns the first run's output for the second run: how many
+// SCCs each method's regular transactions appeared in, and whether any
+// unary transaction appeared in any SCC.
+func (c *Checker) StaticInfo() (map[vm.MethodID]int, bool) {
+	out := make(map[vm.MethodID]int, len(c.sccMethods))
+	for m, n := range c.sccMethods {
+		out[m] = n
+	}
+	return out, c.stats.UnaryInSCC
+}
+
+// ProgramStart implements vm.Instrumentation.
+func (c *Checker) ProgramStart(e *vm.Exec) {
+	c.exec = e
+	c.mgr = txn.NewManager(c.opts.Logging, e.Now, c.meter)
+	c.configureManager()
+	c.mgr.OnFinish(c.txnFinished)
+	c.oct = octet.New(c, e.Blocked, c.meter)
+}
+
+// ThreadStart implements vm.Instrumentation.
+func (c *Checker) ThreadStart(t vm.ThreadID) { c.oct.ThreadStart(t) }
+
+// ThreadExit implements vm.Instrumentation.
+func (c *Checker) ThreadExit(t vm.ThreadID) {
+	c.oct.ThreadExit(t)
+	c.mgr.ThreadExit(t)
+}
+
+// TxBegin implements vm.Instrumentation.
+func (c *Checker) TxBegin(t vm.ThreadID, m vm.MethodID) {
+	if !c.opts.Filter.TxSelected(m) {
+		c.skipping[t] = true
+		return
+	}
+	c.stats.RegularTx++
+	c.mgr.BeginRegular(t, m)
+}
+
+// TxEnd implements vm.Instrumentation.
+func (c *Checker) TxEnd(t vm.ThreadID, m vm.MethodID) {
+	if c.skipping[t] {
+		delete(c.skipping, t)
+		return
+	}
+	c.mgr.EndRegular(t)
+}
+
+// Access implements vm.Instrumentation: the Octet barrier plus ICD's
+// logging instrumentation.
+func (c *Checker) Access(a vm.Access) {
+	if c.skipping[a.Thread] {
+		return
+	}
+	inTx := c.exec != nil && c.exec.InTx(a.Thread)
+	if !inTx && !c.opts.Filter.UnarySelected() {
+		return
+	}
+	if a.Class == vm.ClassArray {
+		if !c.opts.InstrumentArrays {
+			// The paper's default configuration instruments only field
+			// accesses; arrays are evaluated separately (§5.4).
+			return
+		}
+		// Conflate array elements: object-level metadata (§5.4).
+		a.Field = 0
+	}
+	if inTx {
+		c.stats.RegularAccesses++
+	} else {
+		c.stats.UnaryAccesses++
+	}
+
+	// The Octet barrier runs first (its transitions fire the Figure 4
+	// hooks), then the access is recorded in the current transaction's
+	// read/write log, in barrier order, exactly as the paper inserts ICD's
+	// logging instrumentation "before each program access but after
+	// Octet's instrumentation" (§3.2.4).
+	if a.Write {
+		c.oct.BeforeWrite(a.Thread, a.Obj)
+	} else {
+		c.oct.BeforeRead(a.Thread, a.Obj)
+	}
+	c.mgr.Record(a.Thread, a.Obj, a.Field, a.Write, a.Class == vm.ClassSync, a.Seq)
+
+	c.sinceGC++
+	if c.sinceGC >= c.opts.GCPeriod {
+		c.sinceGC = 0
+		c.collect()
+	}
+}
+
+// HandleConflicting implements octet.Hooks (Figure 4,
+// handleConflictingTransition).
+func (c *Checker) HandleConflicting(resp, req vm.ThreadID, old, new octet.State, explicit bool) {
+	// currTX(respT): the responder's latest transaction — never a fresh
+	// one; the responder is at (or past) a safe point, not making accesses.
+	src := c.mgr.EdgeSource(resp)
+	var dst *txn.Txn
+	if src != nil {
+		// An incoming edge cuts a merged unary transaction first.
+		dst = c.mgr.EdgeSink(req)
+		c.addIDGEdge(src, dst)
+	} else {
+		dst = c.mgr.Current(req)
+	}
+	if new.Kind == octet.RdEx && new.Owner == req {
+		c.lastRdEx[req] = dst
+	}
+}
+
+// HandleUpgrading implements octet.Hooks (Figure 4,
+// handleUpgradingTransition).
+func (c *Checker) HandleUpgrading(t vm.ThreadID, rdExOwner vm.ThreadID, old, new octet.State) {
+	var cur *txn.Txn
+	if c.lastRdEx[rdExOwner] != nil || c.gLastRdSh != nil {
+		cur = c.mgr.EdgeSink(t) // incoming edges cut merged unaries
+	} else {
+		cur = c.mgr.Current(t)
+	}
+	if last := c.lastRdEx[rdExOwner]; last != nil {
+		c.addIDGEdge(last, cur)
+	}
+	if c.gLastRdSh != nil {
+		c.addIDGEdge(c.gLastRdSh, cur)
+	}
+	c.gLastRdSh = cur
+}
+
+// HandleFence implements octet.Hooks (Figure 4, handleFenceTransition).
+func (c *Checker) HandleFence(t vm.ThreadID, counter uint64) {
+	if c.gLastRdSh != nil {
+		c.addIDGEdge(c.gLastRdSh, c.mgr.EdgeSink(t))
+	}
+}
+
+func (c *Checker) addIDGEdge(src, dst *txn.Txn) {
+	if src == nil || dst == nil || src == dst {
+		return
+	}
+	before := c.mgr.Stats().CrossEdges
+	c.mgr.AddCrossEdge(src, dst)
+	if c.mgr.Stats().CrossEdges != before {
+		c.stats.IDGEdges++
+		if c.meter != nil {
+			c.meter.Charge(c.meter.Model().IDGEdge)
+		}
+	}
+	if c.opts.EagerDetect {
+		// The rejected per-edge strategy: look for a cycle through the new
+		// edge right now. Charged like SCC work.
+		c.stats.EagerChecks++
+		model := cost.Model{}
+		if c.meter != nil {
+			model = c.meter.Model()
+		}
+		succ := func(t *txn.Txn) []*txn.Txn {
+			c.stats.EagerNodesExplored++
+			if c.meter != nil {
+				c.meter.Charge(model.SCCPerNode + model.SCCPerEdge*cost.Units(len(t.Out)))
+			}
+			return t.Succs()
+		}
+		graph.FindPath(dst, src, succ)
+	}
+}
+
+// txnFinished runs deferred cycle detection (§3.2.3): compute the maximal
+// SCC containing the finished transaction, over finished transactions only.
+func (c *Checker) txnFinished(tx *txn.Txn) {
+	if c.opts.DisableSCC {
+		return
+	}
+	// Quick reject: a cycle through tx needs an outgoing edge to an
+	// already-finished transaction (all cycle members are finished when the
+	// last one finishes, and detection runs at every finish).
+	anyFinished := false
+	for _, e := range tx.Out {
+		if e.Dst.Finished && !e.Dst.Dead() {
+			anyFinished = true
+			break
+		}
+	}
+	if !anyFinished {
+		return
+	}
+	c.stats.SCCDetections++
+	model := cost.Model{}
+	if c.meter != nil {
+		model = c.meter.Model()
+	}
+	succ := func(t *txn.Txn) []*txn.Txn {
+		c.stats.SCCNodesExplored++
+		if c.meter != nil {
+			c.meter.Charge(model.SCCPerNode + model.SCCPerEdge*cost.Units(len(t.Out)))
+		}
+		return t.Succs()
+	}
+	include := func(t *txn.Txn) bool { return t.Finished && !t.Dead() }
+	comp := graph.SCCFrom(tx, succ, include)
+	if comp == nil {
+		return
+	}
+	c.stats.SCCs++
+	c.stats.SCCTxns += uint64(len(comp))
+	for _, member := range comp {
+		if member.Unary {
+			c.stats.UnaryInSCC = true
+		} else if member.Method != vm.NoMethod {
+			c.sccMethods[member.Method]++
+		}
+	}
+	if c.opts.OnSCC != nil {
+		c.opts.OnSCC(comp)
+	}
+}
+
+// collect garbage-collects transactions unreachable from the ICD roots:
+// thread currents (implicit), lastRdEx, and gLastRdSh.
+func (c *Checker) collect() {
+	roots := make([]*txn.Txn, 0, len(c.lastRdEx)+1)
+	for _, tx := range c.lastRdEx {
+		roots = append(roots, tx)
+	}
+	if c.gLastRdSh != nil {
+		roots = append(roots, c.gLastRdSh)
+	}
+	c.mgr.Collect(roots)
+}
+
+// Manager exposes the transaction manager (the PCD-only configuration needs
+// every transaction's log at program end).
+func (c *Checker) Manager() *txn.Manager { return c.mgr }

@@ -1,0 +1,88 @@
+package lang
+
+// File is a parsed program before lowering.
+type File struct {
+	Name    string
+	Objects []ObjectDecl
+	Methods []MethodDecl
+	Threads []ThreadDecl
+}
+
+// ObjectKind distinguishes declaration forms; all lower to VM objects, but
+// the printer preserves the original keyword.
+type ObjectKind uint8
+
+const (
+	// KindObject is a plain shared object.
+	KindObject ObjectKind = iota
+	// KindLock is an object declared with `lock` (used as a monitor).
+	KindLock
+	// KindArray is an array with a fixed length.
+	KindArray
+)
+
+// ObjectDecl declares a shared object, lock, or array.
+type ObjectDecl struct {
+	Kind ObjectKind
+	Name string
+	Len  int // arrays only
+	Line int
+}
+
+// MethodDecl declares a method.
+type MethodDecl struct {
+	Name   string
+	Atomic bool // marked `atomic`: seeds the initial specification
+	Body   []Stmt
+	Line   int
+}
+
+// ThreadDecl declares a thread by its entry method name.
+type ThreadDecl struct {
+	Entry  string
+	Forked bool // started by fork rather than at program start
+	Line   int
+}
+
+// StmtKind enumerates statements.
+type StmtKind uint8
+
+const (
+	// StRead reads Obj.Field or Obj[Index].
+	StRead StmtKind = iota
+	// StWrite writes Obj.Field or Obj[Index].
+	StWrite
+	// StAcquire acquires Obj's monitor.
+	StAcquire
+	// StRelease releases Obj's monitor.
+	StRelease
+	// StWait waits on Obj's monitor.
+	StWait
+	// StNotify notifies one waiter on Obj's monitor.
+	StNotify
+	// StNotifyAll notifies all waiters on Obj's monitor.
+	StNotifyAll
+	// StCall calls method Target.
+	StCall
+	// StFork starts thread Target (a thread entry method name).
+	StFork
+	// StJoin joins thread Target.
+	StJoin
+	// StCompute performs N units of local work.
+	StCompute
+	// StLoop repeats Body N times (unrolled during lowering).
+	StLoop
+)
+
+// Stmt is one statement. Fields are used according to Kind.
+type Stmt struct {
+	Kind    StmtKind
+	Obj     string // object/lock/array name
+	Field   string // field name (object access)
+	Index   int    // array element (array access)
+	IsArray bool
+	Target  string // method or thread name (call/fork/join)
+	N       int    // compute amount or loop count
+	Body    []Stmt // loop body
+	Line    int
+}

@@ -1,0 +1,87 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"doublechecker/internal/txn"
+)
+
+// ViolationDot renders a violation's precise cycle as a Graphviz digraph:
+// the cycle's transactions as nodes (blamed ones highlighted), the
+// dependence edges among them, and — when logs are present — each node's
+// accesses as a label. Pipe to `dot -Tsvg` for a picture of exactly the
+// paper's Figure 3-style diagrams.
+func ViolationDot(u *Unit, v txn.Violation) string {
+	var b strings.Builder
+	b.WriteString("digraph violation {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+
+	blamed := map[*txn.Txn]bool{}
+	for _, tx := range v.Blamed {
+		blamed[tx] = true
+	}
+	name := func(tx *txn.Txn) string { return fmt.Sprintf("tx%d", tx.ID) }
+
+	inCycle := map[*txn.Txn]bool{}
+	for _, tx := range v.Cycle {
+		inCycle[tx] = true
+	}
+	for _, tx := range v.Cycle {
+		var label strings.Builder
+		if tx.Unary {
+			fmt.Fprintf(&label, "unary (thread %d)", tx.Thread)
+		} else {
+			fmt.Fprintf(&label, "%s (thread %d)", u.Prog.MethodName(tx.Method), tx.Thread)
+		}
+		// At most a handful of accesses in the label to stay readable.
+		entries := tx.Log
+		const maxShown = 6
+		shown := entries
+		if len(shown) > maxShown {
+			shown = shown[:maxShown]
+		}
+		for _, e := range shown {
+			rw := "rd"
+			if e.Write {
+				rw = "wr"
+			}
+			fmt.Fprintf(&label, "\\n%s %s", rw, u.accessName(e))
+		}
+		if len(entries) > maxShown {
+			fmt.Fprintf(&label, "\\n… %d more", len(entries)-maxShown)
+		}
+		attrs := ""
+		if blamed[tx] {
+			attrs = ", style=filled, fillcolor=\"#ffd0d0\""
+		}
+		fmt.Fprintf(&b, "  %s [label=\"%s\"%s];\n", name(tx), label.String(), attrs)
+	}
+
+	// Edges among cycle members, in a deterministic order.
+	type edge struct{ src, dst *txn.Txn }
+	var edges []edge
+	for _, tx := range v.Cycle {
+		for _, e := range tx.Out {
+			if inCycle[e.Dst] {
+				edges = append(edges, edge{tx, e.Dst})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].src.ID != edges[j].src.ID {
+			return edges[i].src.ID < edges[j].src.ID
+		}
+		return edges[i].dst.ID < edges[j].dst.ID
+	})
+	for _, e := range edges {
+		style := ""
+		if ed := e.src.EdgeTo(e.dst); ed != nil && !ed.Cross {
+			style = " [style=dashed, label=\"program order\"]"
+		}
+		fmt.Fprintf(&b, "  %s -> %s%s;\n", name(e.src), name(e.dst), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"doublechecker/internal/txn"
+)
+
+// ExplainViolation renders a detected violation as a human-readable
+// interleaving: the cycle's transactions and their logged accesses merged
+// into timeline order, with the unit's source-level object and field names.
+// Logs are available in single-run mode and the second run of multi-run
+// mode (ICD records them for PCD); transactions without logs are listed
+// structurally.
+func ExplainViolation(u *Unit, v txn.Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conflict-serializability violation: cycle of %d transaction(s)\n", len(v.Cycle))
+	labels := make(map[*txn.Txn]string, len(v.Cycle))
+	for i, tx := range v.Cycle {
+		label := fmt.Sprintf("T%d", i+1)
+		labels[tx] = label
+		kind := "atomic " + u.Prog.MethodName(tx.Method)
+		if tx.Unary {
+			kind = "non-transactional accesses"
+		}
+		fmt.Fprintf(&b, "  %s = %s on thread %d\n", label, kind, tx.Thread)
+	}
+	blamed := map[*txn.Txn]bool{}
+	for _, tx := range v.Blamed {
+		blamed[tx] = true
+	}
+
+	type ev struct {
+		tx    *txn.Txn
+		entry txn.LogEntry
+	}
+	var events []ev
+	for _, tx := range v.Cycle {
+		for _, e := range tx.Log {
+			events = append(events, ev{tx, e})
+		}
+	}
+	if len(events) == 0 {
+		b.WriteString("  (no access logs: run in single-run mode for a timeline)\n")
+	} else {
+		sort.Slice(events, func(i, j int) bool { return events[i].entry.Seq < events[j].entry.Seq })
+		b.WriteString("\n  timeline (earliest first):\n")
+		for _, e := range events {
+			rw := "read "
+			if e.entry.Write {
+				rw = "write"
+			}
+			what := u.accessName(e.entry)
+			if e.entry.Sync {
+				rw = map[bool]string{false: "acquire-like read of", true: "release-like write of"}[e.entry.Write]
+			}
+			fmt.Fprintf(&b, "    @%-5d %s (thread %d): %s %s\n",
+				e.entry.Seq, labels[e.tx], e.tx.Thread, rw, what)
+		}
+	}
+	b.WriteString("\n  blame:")
+	for _, tx := range v.Cycle {
+		if blamed[tx] {
+			fmt.Fprintf(&b, " %s", labels[tx])
+		}
+	}
+	b.WriteString(" completed the cycle (outgoing dependence created before incoming)\n")
+	return b.String()
+}
+
+// accessName renders an object.field with source names when available.
+func (u *Unit) accessName(e txn.LogEntry) string {
+	obj, okObj := u.ObjectNames[e.Obj]
+	if !okObj {
+		if int(e.Obj) >= u.Prog.NumObjects {
+			// Synthesized thread-handle object.
+			return fmt.Sprintf("thread-handle(t%d)", int(e.Obj)-u.Prog.NumObjects)
+		}
+		obj = fmt.Sprintf("o%d", e.Obj)
+	}
+	if e.Sync {
+		return obj
+	}
+	if u.Prog.IsArray(e.Obj) {
+		return fmt.Sprintf("%s[%d]", obj, e.Field)
+	}
+	if f, ok := u.FieldNames[e.Field]; ok {
+		return obj + "." + f
+	}
+	return fmt.Sprintf("%s.f%d", obj, e.Field)
+}

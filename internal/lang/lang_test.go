@@ -1,0 +1,527 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/vm"
+)
+
+const bankSrc = `
+# The classic bank account with a check-then-act race.
+program bank
+
+object acct
+lock l
+array hist 8
+
+atomic method deposit {
+    acquire l
+    read acct.balance
+    write acct.balance
+    release l
+}
+
+atomic method audit {
+    read acct.balance
+    compute 5
+    read acct.total
+}
+
+method log {
+    write hist[3]
+    read hist[3]
+}
+
+method main0 {
+    loop 10 { call deposit }
+    call log
+}
+
+method main1 {
+    call audit
+    loop 5 { call deposit }
+}
+
+thread main0
+thread main1
+`
+
+func TestParseBank(t *testing.T) {
+	f, err := Parse(bankSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "bank" {
+		t.Errorf("name = %q", f.Name)
+	}
+	if len(f.Objects) != 3 || len(f.Methods) != 5 || len(f.Threads) != 2 {
+		t.Errorf("decl counts: %d objects %d methods %d threads",
+			len(f.Objects), len(f.Methods), len(f.Threads))
+	}
+	if !f.Methods[0].Atomic || f.Methods[2].Atomic {
+		t.Error("atomic flags wrong")
+	}
+	if f.Objects[2].Kind != KindArray || f.Objects[2].Len != 8 {
+		t.Errorf("array decl: %+v", f.Objects[2])
+	}
+}
+
+func TestLowerBank(t *testing.T) {
+	u, err := ParseAndLower(bankSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := u.Prog
+	if prog.NumObjects != 3 {
+		t.Errorf("objects = %d", prog.NumObjects)
+	}
+	if len(u.AtomicMethods) != 2 {
+		t.Errorf("atomic methods = %v", u.AtomicMethods)
+	}
+	main0 := prog.MethodByName("main0")
+	// loop 10 { call } + call log = 11 ops.
+	if len(main0.Body) != 11 {
+		t.Errorf("main0 unrolled to %d ops, want 11", len(main0.Body))
+	}
+	dep := prog.MethodByName("deposit")
+	if dep.Body[0].Kind != vm.OpAcquire || dep.Body[1].Kind != vm.OpRead {
+		t.Errorf("deposit body: %v", dep.Body)
+	}
+	// Field interning: balance and total are distinct fields.
+	if dep.Body[1].Field == prog.MethodByName("audit").Body[2].Field {
+		t.Error("balance and total should intern to distinct fields")
+	}
+}
+
+func TestLoweredProgramRuns(t *testing.T) {
+	u, err := ParseAndLower(bankSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomicSet := make(map[string]bool)
+	for _, n := range u.AtomicMethods {
+		atomicSet[n] = true
+	}
+	atomic := func(m vm.MethodID) bool { return atomicSet[u.Prog.Methods[m].Name] }
+	r, err := core.Run(u.Prog, core.Config{Analysis: core.DCSingle, Seed: 3, Atomic: atomic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VMStats.RegularTx == 0 {
+		t.Error("expected transactions from atomic methods")
+	}
+}
+
+func TestForkJoinProgram(t *testing.T) {
+	src := `
+program forks
+object o
+method child { write o.x }
+method main {
+    fork child
+    join child
+    read o.x
+}
+thread main
+thread child forked
+`
+	u, err := ParseAndLower(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.NewExec(u.Prog, vm.Config{}).Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestWaitNotifyProgram(t *testing.T) {
+	src := `
+program wn
+object o
+lock mon
+method waiter { acquire mon wait mon release mon write o.x }
+method notifier { compute 9 acquire mon notify mon release mon }
+thread waiter
+thread notifier
+`
+	u, err := ParseAndLower(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.NewExec(u.Prog, vm.Config{Sched: vm.NewRoundRobin()}).Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestNumericFieldSugar(t *testing.T) {
+	u, err := ParseAndLower("program p\nobject o\nmethod main { read o.0 write o.1 }\nthread main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := u.Prog.Methods[0].Body
+	if body[0].Field == body[1].Field {
+		t.Error("o.0 and o.1 must be distinct fields")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", `expected "program"`},
+		{"program", "identifier"},
+		{"program p method m {", "unterminated block"},
+		{"program p method m { read }", "expected identifier"},
+		{"program p banana x", "declaration"},
+		{"program p method m { jump x }", "unknown statement"},
+		{"program p object o method m { read o }", "expected '.field'"},
+		{"program p method m { read o.f }", "undefined object"},
+		{"program p method m { call nope }\nthread m", "undefined method"},
+		{"program p array a 0", "positive length"},
+		{"program p array a 4 method m { read a[9] }", "out of bounds"},
+		{"program p array a 4 method m { read a.f }", "is an array"},
+		{"program p object o method m { read o[1] }", "not an array"},
+		{"program p object o object o", "duplicate object"},
+		{"program p method m { } method m { }", "duplicate method"},
+		{"program p thread nope", "not defined"},
+		{"program p method m { } thread m thread m", "duplicate thread"},
+		{"program p method m { fork m }\nthread m", "fork of auto-start"},
+		{"program p object loop", "keyword"},
+		{"program p method m { compute -1 }", "unexpected character"},
+		{"program p @", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := ParseAndLower(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorsArePositioned(t *testing.T) {
+	_, err := ParseAndLower("program p\nobject o\nmethod m {\n    read q.f\n}\nthread m")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Line != 4 {
+		t.Errorf("line = %d, want 4", le.Line)
+	}
+}
+
+func TestCommentsAndSeparators(t *testing.T) {
+	src := "program p // trailing\n# full line\nobject o;;; method m { read o.f; write o.f }\nthread m"
+	if _, err := ParseAndLower(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	f1, err := Parse(bankSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f1)
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed source failed: %v\n%s", err, printed)
+	}
+	u1, err := Lower(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Lower(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural equivalence of the lowered programs.
+	if len(u1.Prog.Methods) != len(u2.Prog.Methods) || u1.Prog.NumObjects != u2.Prog.NumObjects {
+		t.Fatal("round trip changed structure")
+	}
+	for i := range u1.Prog.Methods {
+		a, b := u1.Prog.Methods[i], u2.Prog.Methods[i]
+		if a.Name != b.Name || len(a.Body) != len(b.Body) {
+			t.Errorf("method %s: %d vs %d ops", a.Name, len(a.Body), len(b.Body))
+		}
+		for j := range a.Body {
+			if a.Body[j] != b.Body[j] {
+				t.Errorf("method %s op %d: %v vs %v", a.Name, j, a.Body[j], b.Body[j])
+			}
+		}
+	}
+}
+
+func TestFromProgramRoundTrip(t *testing.T) {
+	b := vm.NewBuilder("gen")
+	o := b.Object()
+	arr := b.Array(4)
+	work := b.Method("work")
+	work.Acquire(o)
+	for i := 0; i < 5; i++ {
+		work.Read(o, 1) // run of 5: collapsed to a loop
+	}
+	work.ArrayWrite(arr, 2).Release(o).Compute(7)
+	child := b.Method("child")
+	child.Write(o, 0)
+	ct := b.ForkedThread(child)
+	main := b.Method("main")
+	main.Call(work).Fork(ct).Join(ct)
+	b.Thread(main)
+	prog := b.MustBuild()
+
+	f := FromProgram(prog, func(m vm.MethodID) bool { return prog.Methods[m].Name == "work" })
+	src := Print(f)
+	if !strings.Contains(src, "loop 5") {
+		t.Errorf("runs should collapse to loops:\n%s", src)
+	}
+	u, err := ParseAndLower(src)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	if len(u.Prog.Methods) != len(prog.Methods) {
+		t.Error("method count changed")
+	}
+	w1 := prog.MethodByName("work").Body
+	w2 := u.Prog.MethodByName("work").Body
+	if len(w1) != len(w2) {
+		t.Errorf("work body %d vs %d ops", len(w1), len(w2))
+	}
+	if len(u.AtomicMethods) != 1 || u.AtomicMethods[0] != "work" {
+		t.Errorf("atomic methods: %v", u.AtomicMethods)
+	}
+}
+
+func TestLoopUnrollLimit(t *testing.T) {
+	src := "program p\nobject o\nmethod m { loop 1000000 { loop 1000000 { read o.f } } }\nthread m"
+	_, err := ParseAndLower(src)
+	if err == nil || !strings.Contains(err.Error(), "unrolls") {
+		t.Errorf("expected unroll-limit error, got %v", err)
+	}
+}
+
+func TestExplainViolation(t *testing.T) {
+	u, err := ParseAndLower(`
+program p
+object acct
+lock l
+atomic method racy { read acct.balance compute 8 write acct.balance }
+array buf 4
+atomic method touch { write buf[2] acquire l release l }
+method main0 { loop 10 { call racy call touch } }
+method main1 { loop 10 { call racy } }
+thread main0
+thread main1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomicSet := map[string]bool{"racy": true, "touch": true}
+	isAtomic := func(m vm.MethodID) bool { return atomicSet[u.Prog.Methods[m].Name] }
+	var out string
+	for seed := int64(0); seed < 10 && out == ""; seed++ {
+		res, err := core.Run(u.Prog, core.Config{Analysis: core.DCSingle, Seed: seed, Atomic: isAtomic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			out = ExplainViolation(u, res.Violations[0])
+		}
+	}
+	if out == "" {
+		t.Skip("no violation surfaced in 10 seeds")
+	}
+	for _, want := range []string{"cycle of", "timeline", "acct.balance", "blame:", "atomic racy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainWithoutLogs(t *testing.T) {
+	// First-run transactions carry no logs; Explain must degrade cleanly.
+	u, err := ParseAndLower(`
+program p
+object o
+atomic method racy { read o.x compute 8 write o.x }
+method main0 { loop 10 { call racy } }
+method main1 { loop 10 { call racy } }
+thread main0
+thread main1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isAtomic := func(m vm.MethodID) bool { return u.Prog.Methods[m].Name == "racy" }
+	// Use velodrome (no logging) to obtain a violation without logs.
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := core.Run(u.Prog, core.Config{Analysis: core.Velodrome, Seed: seed, Atomic: isAtomic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			out := ExplainViolation(u, res.Violations[0])
+			if !strings.Contains(out, "no access logs") {
+				t.Errorf("log-less explain should say so:\n%s", out)
+			}
+			return
+		}
+	}
+	t.Skip("no violation surfaced")
+}
+
+func TestViolationDot(t *testing.T) {
+	u, err := ParseAndLower(`
+program p
+object o
+atomic method racy { read o.x compute 8 write o.x }
+method main0 { loop 10 { call racy } }
+method main1 { loop 10 { call racy } }
+thread main0
+thread main1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isAtomic := func(m vm.MethodID) bool { return u.Prog.Methods[m].Name == "racy" }
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := core.Run(u.Prog, core.Config{Analysis: core.DCSingle, Seed: seed, Atomic: isAtomic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) == 0 {
+			continue
+		}
+		dot := ViolationDot(u, res.Violations[0])
+		for _, want := range []string{"digraph violation", "racy (thread", "->", "fillcolor"} {
+			if !strings.Contains(dot, want) {
+				t.Errorf("dot missing %q:\n%s", want, dot)
+			}
+		}
+		if strings.Count(dot, "{") != strings.Count(dot, "}") {
+			t.Error("unbalanced braces in dot output")
+		}
+		return
+	}
+	t.Skip("no violation surfaced")
+}
+
+// randomFile builds a random AST for printer round-trip property testing.
+func randomFile(seed int64) *File {
+	rng := rand.New(rand.NewSource(seed))
+	f := &File{Name: "rand"}
+	nObj := 1 + rng.Intn(3)
+	var objNames []string
+	for i := 0; i < nObj; i++ {
+		name := fmt.Sprintf("obj%d", i)
+		kind := ObjectKind(rng.Intn(3))
+		od := ObjectDecl{Kind: kind, Name: name}
+		if kind == KindArray {
+			od.Len = 2 + rng.Intn(6)
+		}
+		f.Objects = append(f.Objects, od)
+		objNames = append(objNames, name)
+	}
+	var genStmts func(depth int) []Stmt
+	genStmts = func(depth int) []Stmt {
+		var out []Stmt
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			obj := rng.Intn(nObj)
+			od := f.Objects[obj]
+			s := Stmt{Obj: od.Name}
+			switch rng.Intn(6) {
+			case 0:
+				s.Kind = StCompute
+				s.N = rng.Intn(20)
+				s.Obj = ""
+			case 1:
+				if depth < 2 {
+					s = Stmt{Kind: StLoop, N: 1 + rng.Intn(4), Body: genStmts(depth + 1)}
+				} else {
+					s.Kind = StRead
+					fillAccess(&s, od, rng)
+				}
+			case 2:
+				s.Kind = StWrite
+				fillAccess(&s, od, rng)
+			default:
+				s.Kind = StRead
+				fillAccess(&s, od, rng)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	nMeth := 1 + rng.Intn(3)
+	for i := 0; i < nMeth; i++ {
+		f.Methods = append(f.Methods, MethodDecl{
+			Name:   fmt.Sprintf("m%d", i),
+			Atomic: rng.Intn(2) == 0,
+			Body:   genStmts(0),
+		})
+	}
+	main := MethodDecl{Name: "main"}
+	for i := 0; i < nMeth; i++ {
+		main.Body = append(main.Body, Stmt{Kind: StCall, Target: fmt.Sprintf("m%d", i)})
+	}
+	f.Methods = append(f.Methods, main)
+	f.Threads = []ThreadDecl{{Entry: "main"}}
+	return f
+}
+
+func fillAccess(s *Stmt, od ObjectDecl, rng *rand.Rand) {
+	if od.Kind == KindArray {
+		s.IsArray = true
+		s.Index = rng.Intn(od.Len)
+	} else {
+		s.Field = fmt.Sprintf("f%d", rng.Intn(3))
+	}
+}
+
+// TestPropertyPrintParseRoundTrip: Print then Parse then Lower must yield
+// the identical lowered program for random ASTs.
+func TestPropertyPrintParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		f1 := randomFile(seed)
+		u1, err := Lower(f1)
+		if err != nil {
+			t.Fatalf("seed %d: lower original: %v", seed, err)
+		}
+		f2, err := Parse(Print(f1))
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, Print(f1))
+		}
+		u2, err := Lower(f2)
+		if err != nil {
+			t.Fatalf("seed %d: lower reparsed: %v", seed, err)
+		}
+		if len(u1.Prog.Methods) != len(u2.Prog.Methods) {
+			t.Fatalf("seed %d: method count changed", seed)
+		}
+		for i := range u1.Prog.Methods {
+			a, b := u1.Prog.Methods[i], u2.Prog.Methods[i]
+			if a.Name != b.Name || len(a.Body) != len(b.Body) {
+				t.Fatalf("seed %d: method %s body %d vs %d", seed, a.Name, len(a.Body), len(b.Body))
+			}
+			for j := range a.Body {
+				if a.Body[j] != b.Body[j] {
+					t.Fatalf("seed %d: %s op %d: %v vs %v", seed, a.Name, j, a.Body[j], b.Body[j])
+				}
+			}
+		}
+		if len(u1.AtomicMethods) != len(u2.AtomicMethods) {
+			t.Fatalf("seed %d: atomic set changed", seed)
+		}
+	}
+}

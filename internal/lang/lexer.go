@@ -1,0 +1,179 @@
+// Package lang implements the textual workload language (.dcp files): a
+// lexer, recursive-descent parser, AST, a lowering pass onto the VM's
+// program representation, and a pretty-printer.
+//
+// The language describes exactly what the paper's subject programs look
+// like to the checkers: named shared objects, locks and arrays; methods as
+// sequences of field/array accesses, monitor operations, wait/notify,
+// fork/join, calls, and pure compute; and thread declarations. Methods
+// marked `atomic` seed the initial atomicity specification.
+//
+//	program bank
+//	object acct
+//	lock l
+//	atomic method deposit {
+//	    acquire l
+//	    read acct.balance
+//	    write acct.balance
+//	    release l
+//	}
+//	method main0 { loop 100 { call deposit } }
+//	thread main0
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokDot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokDot:
+		return "'.'"
+	}
+	return fmt.Sprintf("tokenKind(%d)", uint8(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokIdent || t.kind == tokInt {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return t.kind.String()
+}
+
+// Error is a positioned language error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Newlines and semicolons are whitespace (every
+// statement starts with a keyword, so no separators are needed); comments
+// run from // or # to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';':
+			advance(1)
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line, col})
+			advance(1)
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line, col})
+			advance(1)
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", line, col})
+			advance(1)
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", line, col})
+			advance(1)
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", line, col})
+			advance(1)
+		case c >= '0' && c <= '9':
+			start, l0, c0 := i, line, col
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				advance(1)
+			}
+			toks = append(toks, token{tokInt, src[start:i], l0, c0})
+		case isIdentStart(rune(c)):
+			start, l0, c0 := i, line, col
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], l0, c0})
+		default:
+			return nil, errAt(line, col, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// keywords reserved by the statement grammar; they cannot name objects or
+// methods (catching this early gives far better errors than a parse
+// failure later).
+var keywords = map[string]bool{
+	"program": true, "object": true, "lock": true, "array": true,
+	"method": true, "atomic": true, "thread": true, "forked": true,
+	"read": true, "write": true, "acquire": true, "release": true,
+	"wait": true, "notify": true, "notifyall": true,
+	"call": true, "fork": true, "join": true, "compute": true, "loop": true,
+}
+
+// validName reports whether s can name a declared entity.
+func validName(s string) bool {
+	return s != "" && !keywords[strings.ToLower(s)]
+}

@@ -1,0 +1,175 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Warning is one static-analysis finding on a parsed File.
+type Warning struct {
+	Line int
+	Msg  string
+}
+
+func (w Warning) String() string { return fmt.Sprintf("%d: %s", w.Line, w.Msg) }
+
+// Lint runs static well-formedness checks on a parsed File, before
+// lowering. The workload language has no branches, so monitor discipline is
+// statically decidable per method: Lint flags unbalanced acquire/release,
+// release or wait without a held monitor, waits inside `atomic` methods
+// (the paper's methodology excludes wait-containing methods from
+// specifications because wait releases the monitor mid-region), unjoined
+// forked threads, and methods that are never called or run.
+func Lint(f *File) []Warning {
+	var warns []Warning
+	methods := make(map[string]*MethodDecl, len(f.Methods))
+	for i := range f.Methods {
+		methods[f.Methods[i].Name] = &f.Methods[i]
+	}
+
+	// Per-method monitor discipline (intra-procedural: calls are not
+	// expanded — a method must be self-balanced, which also guarantees any
+	// flattened composition is balanced).
+	for i := range f.Methods {
+		md := &f.Methods[i]
+		held := map[string]int{}
+		var walk func(stmts []Stmt)
+		walk = func(stmts []Stmt) {
+			for _, s := range stmts {
+				switch s.Kind {
+				case StAcquire:
+					held[s.Obj]++
+				case StRelease:
+					if held[s.Obj] == 0 {
+						warns = append(warns, Warning{s.Line,
+							fmt.Sprintf("method %q releases %q without holding it", md.Name, s.Obj)})
+					} else {
+						held[s.Obj]--
+					}
+				case StWait, StNotify, StNotifyAll:
+					if held[s.Obj] == 0 {
+						warns = append(warns, Warning{s.Line,
+							fmt.Sprintf("method %q uses %s on %q without holding its monitor",
+								md.Name, stmtName(s.Kind), s.Obj)})
+					}
+					if s.Kind == StWait && md.Atomic {
+						warns = append(warns, Warning{s.Line,
+							fmt.Sprintf("atomic method %q waits on %q: wait releases the monitor mid-region, so the method cannot be atomic", md.Name, s.Obj)})
+					}
+				case StLoop:
+					// A loop body that changes the held multiset would make
+					// discipline iteration-dependent; require balance.
+					before := copyCounts(held)
+					walk(s.Body)
+					if !sameCounts(before, held) {
+						warns = append(warns, Warning{s.Line,
+							fmt.Sprintf("method %q: loop body changes held monitors", md.Name)})
+						held = before
+					}
+				}
+			}
+		}
+		walk(md.Body)
+		for obj, n := range held {
+			if n > 0 {
+				warns = append(warns, Warning{md.Line,
+					fmt.Sprintf("method %q exits holding %q (%d unbalanced acquire(s))", md.Name, obj, n)})
+			}
+		}
+	}
+
+	// Reachability: methods called or used as thread entries.
+	used := map[string]bool{}
+	for _, td := range f.Threads {
+		used[td.Entry] = true
+	}
+	var mark func(stmts []Stmt)
+	mark = func(stmts []Stmt) {
+		for _, s := range stmts {
+			if s.Kind == StCall {
+				used[s.Target] = true
+			}
+			if s.Kind == StLoop {
+				mark(s.Body)
+			}
+		}
+	}
+	for i := range f.Methods {
+		mark(f.Methods[i].Body)
+	}
+	for i := range f.Methods {
+		if !used[f.Methods[i].Name] {
+			warns = append(warns, Warning{f.Methods[i].Line,
+				fmt.Sprintf("method %q is never called or run", f.Methods[i].Name)})
+		}
+	}
+
+	// Fork/join pairing: every forked thread should be forked somewhere,
+	// and forks should eventually be joined (unjoined threads make program
+	// end racy with their tails).
+	forked := map[string]int{}
+	joined := map[string]int{}
+	var scanFJ func(stmts []Stmt)
+	scanFJ = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s.Kind {
+			case StFork:
+				forked[s.Target]++
+			case StJoin:
+				joined[s.Target]++
+			case StLoop:
+				scanFJ(s.Body)
+			}
+		}
+	}
+	for i := range f.Methods {
+		scanFJ(f.Methods[i].Body)
+	}
+	for _, td := range f.Threads {
+		if !td.Forked {
+			continue
+		}
+		if forked[td.Entry] == 0 {
+			warns = append(warns, Warning{td.Line,
+				fmt.Sprintf("forked thread %q is never forked (it will never run)", td.Entry)})
+		}
+		if forked[td.Entry] > 0 && joined[td.Entry] == 0 {
+			warns = append(warns, Warning{td.Line,
+				fmt.Sprintf("forked thread %q is never joined", td.Entry)})
+		}
+	}
+	return warns
+}
+
+func stmtName(k StmtKind) string {
+	switch k {
+	case StWait:
+		return "wait"
+	case StNotify:
+		return "notify"
+	case StNotifyAll:
+		return "notifyall"
+	}
+	return "?"
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func sameCounts(a, b map[string]int) bool {
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if a[k] != v {
+			return false
+		}
+	}
+	return true
+}

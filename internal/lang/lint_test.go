@@ -1,0 +1,144 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintWarnings(t *testing.T, src string) []string {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, w := range Lint(f) {
+		out = append(out, w.String())
+	}
+	return out
+}
+
+func hasWarning(warns []string, sub string) bool {
+	for _, w := range warns {
+		if strings.Contains(w, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	warns := lintWarnings(t, bankSrc)
+	if len(warns) != 0 {
+		t.Errorf("clean program warned: %v", warns)
+	}
+}
+
+func TestLintUnbalancedAcquire(t *testing.T) {
+	src := `program p
+lock l
+method m { acquire l }
+thread m`
+	warns := lintWarnings(t, src)
+	if !hasWarning(warns, "exits holding") {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintReleaseWithoutHold(t *testing.T) {
+	src := `program p
+lock l
+method m { release l }
+thread m`
+	if warns := lintWarnings(t, src); !hasWarning(warns, "without holding") {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintWaitWithoutMonitor(t *testing.T) {
+	src := `program p
+lock l
+method m { wait l }
+thread m`
+	if warns := lintWarnings(t, src); !hasWarning(warns, "without holding its monitor") {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintAtomicWait(t *testing.T) {
+	src := `program p
+lock l
+atomic method m { acquire l wait l release l }
+method main { call m }
+thread main`
+	if warns := lintWarnings(t, src); !hasWarning(warns, "cannot be atomic") {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintLoopImbalance(t *testing.T) {
+	src := `program p
+lock l
+method m { loop 3 { acquire l } release l release l release l }
+thread m`
+	if warns := lintWarnings(t, src); !hasWarning(warns, "loop body changes held monitors") {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintBalancedLoopOK(t *testing.T) {
+	src := `program p
+lock l
+object o
+method m { loop 3 { acquire l read o.x release l } }
+thread m`
+	if warns := lintWarnings(t, src); len(warns) != 0 {
+		t.Errorf("balanced loop warned: %v", warns)
+	}
+}
+
+func TestLintDeadMethod(t *testing.T) {
+	src := `program p
+object o
+method dead { read o.x }
+method main { read o.x }
+thread main`
+	if warns := lintWarnings(t, src); !hasWarning(warns, `"dead" is never called`) {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintForkNeverForked(t *testing.T) {
+	src := `program p
+object o
+method child { read o.x }
+method main { read o.x }
+thread main
+thread child forked`
+	warns := lintWarnings(t, src)
+	if !hasWarning(warns, "never forked") {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintForkNeverJoined(t *testing.T) {
+	src := `program p
+object o
+method child { read o.x }
+method main { fork child }
+thread main
+thread child forked`
+	if warns := lintWarnings(t, src); !hasWarning(warns, "never joined") {
+		t.Errorf("warnings: %v", warns)
+	}
+}
+
+func TestLintCorpusFilesClean(t *testing.T) {
+	// The shipped corpus must lint clean; see corpus files for why handoff
+	// deliberately leaves consume non-atomic.
+	for _, src := range []string{bankSrc} {
+		if warns := lintWarnings(t, src); len(warns) != 0 {
+			t.Errorf("corpus warned: %v", warns)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package lang
+
+import (
+	"doublechecker/internal/vm"
+)
+
+// Unit is a lowered program: the executable VM program plus the language-
+// level information the checkers and tools need (the initial atomicity
+// specification's method names and the name tables for diagnostics).
+type Unit struct {
+	Prog *vm.Program
+	// AtomicMethods are the names of methods marked `atomic`.
+	AtomicMethods []string
+	// ObjectNames maps object IDs back to their declared names.
+	ObjectNames map[vm.ObjectID]string
+	// FieldNames maps interned field IDs back to names.
+	FieldNames map[vm.FieldID]string
+}
+
+// maxUnrolledOps bounds loop unrolling so a typo ("loop 1000000000") fails
+// fast instead of exhausting memory.
+const maxUnrolledOps = 20_000_000
+
+// unrolledSize computes the fully unrolled statement count, saturating at
+// maxUnrolledOps+1 so huge programs are rejected without building them.
+func unrolledSize(stmts []Stmt) int {
+	total := 0
+	for _, s := range stmts {
+		if s.Kind == StLoop {
+			inner := unrolledSize(s.Body)
+			if inner > 0 && s.N > maxUnrolledOps/inner {
+				return maxUnrolledOps + 1
+			}
+			total += s.N * inner
+		} else {
+			total++
+		}
+		if total > maxUnrolledOps {
+			return maxUnrolledOps + 1
+		}
+	}
+	return total
+}
+
+// Lower resolves names and lowers a parsed File to a VM program, unrolling
+// loops.
+func Lower(f *File) (*Unit, error) {
+	b := vm.NewBuilder(f.Name)
+	u := &Unit{
+		ObjectNames: make(map[vm.ObjectID]string),
+		FieldNames:  make(map[vm.FieldID]string),
+	}
+
+	objects := make(map[string]vm.ObjectID)
+	arrayLens := make(map[string]int)
+	for _, od := range f.Objects {
+		if _, dup := objects[od.Name]; dup {
+			return nil, errAt(od.Line, 1, "duplicate object %q", od.Name)
+		}
+		var id vm.ObjectID
+		if od.Kind == KindArray {
+			id = b.Array(od.Len)
+			arrayLens[od.Name] = od.Len
+		} else {
+			id = b.Object()
+		}
+		objects[od.Name] = id
+		u.ObjectNames[id] = od.Name
+	}
+
+	fields := make(map[string]vm.FieldID)
+	internField := func(name string) vm.FieldID {
+		if id, ok := fields[name]; ok {
+			return id
+		}
+		id := vm.FieldID(len(fields))
+		fields[name] = id
+		u.FieldNames[id] = name
+		return id
+	}
+
+	methods := make(map[string]*vm.MethodBuilder)
+	for _, md := range f.Methods {
+		if _, dup := methods[md.Name]; dup {
+			return nil, errAt(md.Line, 1, "duplicate method %q", md.Name)
+		}
+		methods[md.Name] = b.Method(md.Name)
+		if md.Atomic {
+			u.AtomicMethods = append(u.AtomicMethods, md.Name)
+		}
+	}
+
+	// Threads: declared order gives IDs; entry methods must exist; a fork
+	// target must be a forked thread's entry name.
+	threadByEntry := make(map[string]vm.ThreadID)
+	for _, td := range f.Threads {
+		mb, ok := methods[td.Entry]
+		if !ok {
+			return nil, errAt(td.Line, 1, "thread entry method %q not defined", td.Entry)
+		}
+		if _, dup := threadByEntry[td.Entry]; dup {
+			return nil, errAt(td.Line, 1, "duplicate thread for method %q", td.Entry)
+		}
+		var id vm.ThreadID
+		if td.Forked {
+			id = b.ForkedThread(mb)
+		} else {
+			id = b.Thread(mb)
+		}
+		threadByEntry[td.Entry] = id
+	}
+
+	env := &lowerEnv{
+		objects: objects, arrayLens: arrayLens, methods: methods,
+		threads: threadByEntry, intern: internField,
+	}
+	for _, md := range f.Methods {
+		if unrolledSize(md.Body) > maxUnrolledOps {
+			return nil, errAt(md.Line, 1, "method %q unrolls to more than %d operations", md.Name, maxUnrolledOps)
+		}
+		if err := env.lowerBody(methods[md.Name], md.Body); err != nil {
+			return nil, err
+		}
+	}
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	u.Prog = prog
+	return u, nil
+}
+
+// ParseAndLower parses and lowers source text in one step.
+func ParseAndLower(src string) (*Unit, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+type lowerEnv struct {
+	objects   map[string]vm.ObjectID
+	arrayLens map[string]int
+	methods   map[string]*vm.MethodBuilder
+	threads   map[string]vm.ThreadID
+	intern    func(string) vm.FieldID
+}
+
+func (e *lowerEnv) lowerBody(mb *vm.MethodBuilder, stmts []Stmt) error {
+	for _, s := range stmts {
+		switch s.Kind {
+		case StRead, StWrite:
+			obj, ok := e.objects[s.Obj]
+			if !ok {
+				return errAt(s.Line, 1, "undefined object %q", s.Obj)
+			}
+			if s.IsArray {
+				length, isArr := e.arrayLens[s.Obj]
+				if !isArr {
+					return errAt(s.Line, 1, "%q is not an array", s.Obj)
+				}
+				if s.Index >= length {
+					return errAt(s.Line, 1, "index %d out of bounds for %q (len %d)", s.Index, s.Obj, length)
+				}
+				if s.Kind == StRead {
+					mb.ArrayRead(obj, s.Index)
+				} else {
+					mb.ArrayWrite(obj, s.Index)
+				}
+			} else {
+				if _, isArr := e.arrayLens[s.Obj]; isArr {
+					return errAt(s.Line, 1, "%q is an array; use %s[index]", s.Obj, s.Obj)
+				}
+				f := e.intern(s.Field)
+				if s.Kind == StRead {
+					mb.Read(obj, f)
+				} else {
+					mb.Write(obj, f)
+				}
+			}
+		case StAcquire, StRelease, StWait, StNotify, StNotifyAll:
+			obj, ok := e.objects[s.Obj]
+			if !ok {
+				return errAt(s.Line, 1, "undefined monitor %q", s.Obj)
+			}
+			switch s.Kind {
+			case StAcquire:
+				mb.Acquire(obj)
+			case StRelease:
+				mb.Release(obj)
+			case StWait:
+				mb.Wait(obj)
+			case StNotify:
+				mb.Notify(obj)
+			case StNotifyAll:
+				mb.NotifyAll(obj)
+			}
+		case StCall:
+			callee, ok := e.methods[s.Target]
+			if !ok {
+				return errAt(s.Line, 1, "undefined method %q", s.Target)
+			}
+			mb.Call(callee)
+		case StFork, StJoin:
+			tid, ok := e.threads[s.Target]
+			if !ok {
+				return errAt(s.Line, 1, "no thread with entry method %q", s.Target)
+			}
+			if s.Kind == StFork {
+				mb.Fork(tid)
+			} else {
+				mb.Join(tid)
+			}
+		case StCompute:
+			mb.Compute(s.N)
+		case StLoop:
+			for i := 0; i < s.N; i++ {
+				if err := e.lowerBody(mb, s.Body); err != nil {
+					return err
+				}
+			}
+		default:
+			return errAt(s.Line, 1, "unhandled statement kind %d", s.Kind)
+		}
+	}
+	return nil
+}

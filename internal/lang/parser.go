@@ -1,0 +1,292 @@
+package lang
+
+import "strconv"
+
+// Parse parses source text into a File (no name resolution; Lower does
+// that).
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return errAt(t.line, t.col, format, args...)
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %s (%s), got %s", kind, what, t)
+	}
+	return t, nil
+}
+
+// keyword consumes the exact identifier kw or fails.
+func (p *parser) keyword(kw string) (token, error) {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return t, p.errf(t, "expected %q, got %s", kw, t)
+	}
+	return t, nil
+}
+
+// name consumes a non-keyword identifier.
+func (p *parser) name(what string) (token, error) {
+	t, err := p.expect(tokIdent, what)
+	if err != nil {
+		return t, err
+	}
+	if !validName(t.text) {
+		return t, p.errf(t, "%q is a keyword and cannot name %s", t.text, what)
+	}
+	return t, nil
+}
+
+// integer consumes a non-negative integer literal.
+func (p *parser) integer(what string) (int, token, error) {
+	t, err := p.expect(tokInt, what)
+	if err != nil {
+		return 0, t, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, t, p.errf(t, "bad %s %q", what, t.text)
+	}
+	return n, t, nil
+}
+
+func (p *parser) file() (*File, error) {
+	if _, err := p.keyword("program"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.name("the program")
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Name: nameTok.text}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			return f, nil
+		case t.kind != tokIdent:
+			return nil, p.errf(t, "expected a declaration, got %s", t)
+		}
+		switch t.text {
+		case "object", "lock":
+			p.next()
+			kind := KindObject
+			if t.text == "lock" {
+				kind = KindLock
+			}
+			// One or more names on a single declaration.
+			first, err := p.name("an object")
+			if err != nil {
+				return nil, err
+			}
+			f.Objects = append(f.Objects, ObjectDecl{Kind: kind, Name: first.text, Line: first.line})
+			for p.cur().kind == tokIdent && validName(p.cur().text) {
+				n := p.next()
+				f.Objects = append(f.Objects, ObjectDecl{Kind: kind, Name: n.text, Line: n.line})
+			}
+		case "array":
+			p.next()
+			n, err := p.name("an array")
+			if err != nil {
+				return nil, err
+			}
+			length, lt, err := p.integer("array length")
+			if err != nil {
+				return nil, err
+			}
+			if length == 0 {
+				return nil, p.errf(lt, "array %q must have positive length", n.text)
+			}
+			f.Objects = append(f.Objects, ObjectDecl{Kind: KindArray, Name: n.text, Len: length, Line: n.line})
+		case "atomic", "method":
+			md, err := p.methodDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Methods = append(f.Methods, md)
+		case "thread":
+			p.next()
+			n, err := p.name("a thread entry method")
+			if err != nil {
+				return nil, err
+			}
+			td := ThreadDecl{Entry: n.text, Line: n.line}
+			if p.cur().kind == tokIdent && p.cur().text == "forked" {
+				p.next()
+				td.Forked = true
+			}
+			f.Threads = append(f.Threads, td)
+		default:
+			return nil, p.errf(t, "expected a declaration keyword, got %s", t)
+		}
+	}
+}
+
+func (p *parser) methodDecl() (MethodDecl, error) {
+	var md MethodDecl
+	t := p.next() // "atomic" or "method"
+	if t.text == "atomic" {
+		md.Atomic = true
+		if _, err := p.keyword("method"); err != nil {
+			return md, err
+		}
+	}
+	n, err := p.name("a method")
+	if err != nil {
+		return md, err
+	}
+	md.Name = n.text
+	md.Line = n.line
+	md.Body, err = p.block()
+	return md, err
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokLBrace, "a block"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for {
+		t := p.cur()
+		if t.kind == tokRBrace {
+			p.next()
+			return stmts, nil
+		}
+		if t.kind == tokEOF {
+			return nil, p.errf(t, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return Stmt{}, p.errf(t, "expected a statement, got %s", t)
+	}
+	s := Stmt{Line: t.line}
+	switch t.text {
+	case "read", "write":
+		s.Kind = StRead
+		if t.text == "write" {
+			s.Kind = StWrite
+		}
+		return p.lvalue(s)
+	case "acquire", "release", "wait", "notify", "notifyall":
+		switch t.text {
+		case "acquire":
+			s.Kind = StAcquire
+		case "release":
+			s.Kind = StRelease
+		case "wait":
+			s.Kind = StWait
+		case "notify":
+			s.Kind = StNotify
+		default:
+			s.Kind = StNotifyAll
+		}
+		n, err := p.name("a monitor object")
+		if err != nil {
+			return s, err
+		}
+		s.Obj = n.text
+		return s, nil
+	case "call", "fork", "join":
+		switch t.text {
+		case "call":
+			s.Kind = StCall
+		case "fork":
+			s.Kind = StFork
+		default:
+			s.Kind = StJoin
+		}
+		n, err := p.name("a target")
+		if err != nil {
+			return s, err
+		}
+		s.Target = n.text
+		return s, nil
+	case "compute":
+		s.Kind = StCompute
+		n, _, err := p.integer("compute amount")
+		if err != nil {
+			return s, err
+		}
+		s.N = n
+		return s, nil
+	case "loop":
+		s.Kind = StLoop
+		n, _, err := p.integer("loop count")
+		if err != nil {
+			return s, err
+		}
+		s.N = n
+		body, err := p.block()
+		if err != nil {
+			return s, err
+		}
+		s.Body = body
+		return s, nil
+	default:
+		return s, p.errf(t, "unknown statement %q", t.text)
+	}
+}
+
+// lvalue parses obj.field or arr[idx] after read/write.
+func (p *parser) lvalue(s Stmt) (Stmt, error) {
+	n, err := p.name("an object")
+	if err != nil {
+		return s, err
+	}
+	s.Obj = n.text
+	switch p.cur().kind {
+	case tokDot:
+		p.next()
+		fieldTok := p.next()
+		switch fieldTok.kind {
+		case tokIdent:
+			s.Field = fieldTok.text
+		case tokInt:
+			s.Field = "f" + fieldTok.text
+		default:
+			return s, p.errf(fieldTok, "expected a field name, got %s", fieldTok)
+		}
+		return s, nil
+	case tokLBracket:
+		p.next()
+		idx, _, err := p.integer("array index")
+		if err != nil {
+			return s, err
+		}
+		s.Index = idx
+		s.IsArray = true
+		if _, err := p.expect(tokRBracket, "array index"); err != nil {
+			return s, err
+		}
+		return s, nil
+	default:
+		return s, p.errf(p.cur(), "expected '.field' or '[index]' after %q", s.Obj)
+	}
+}

@@ -1,0 +1,194 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"doublechecker/internal/vm"
+)
+
+// Print renders a File back to source text. Parse(Print(f)) is equivalent
+// to f (round-trip tested).
+func Print(f *File) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n\n", f.Name)
+	for _, od := range f.Objects {
+		switch od.Kind {
+		case KindLock:
+			fmt.Fprintf(&b, "lock %s\n", od.Name)
+		case KindArray:
+			fmt.Fprintf(&b, "array %s %d\n", od.Name, od.Len)
+		default:
+			fmt.Fprintf(&b, "object %s\n", od.Name)
+		}
+	}
+	if len(f.Objects) > 0 {
+		b.WriteString("\n")
+	}
+	for _, md := range f.Methods {
+		if md.Atomic {
+			b.WriteString("atomic ")
+		}
+		fmt.Fprintf(&b, "method %s {\n", md.Name)
+		printStmts(&b, md.Body, 1)
+		b.WriteString("}\n\n")
+	}
+	for _, td := range f.Threads {
+		if td.Forked {
+			fmt.Fprintf(&b, "thread %s forked\n", td.Entry)
+		} else {
+			fmt.Fprintf(&b, "thread %s\n", td.Entry)
+		}
+	}
+	return b.String()
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		switch s.Kind {
+		case StRead, StWrite:
+			kw := "read"
+			if s.Kind == StWrite {
+				kw = "write"
+			}
+			if s.IsArray {
+				fmt.Fprintf(b, "%s%s %s[%d]\n", indent, kw, s.Obj, s.Index)
+			} else {
+				fmt.Fprintf(b, "%s%s %s.%s\n", indent, kw, s.Obj, s.Field)
+			}
+		case StAcquire:
+			fmt.Fprintf(b, "%sacquire %s\n", indent, s.Obj)
+		case StRelease:
+			fmt.Fprintf(b, "%srelease %s\n", indent, s.Obj)
+		case StWait:
+			fmt.Fprintf(b, "%swait %s\n", indent, s.Obj)
+		case StNotify:
+			fmt.Fprintf(b, "%snotify %s\n", indent, s.Obj)
+		case StNotifyAll:
+			fmt.Fprintf(b, "%snotifyall %s\n", indent, s.Obj)
+		case StCall:
+			fmt.Fprintf(b, "%scall %s\n", indent, s.Target)
+		case StFork:
+			fmt.Fprintf(b, "%sfork %s\n", indent, s.Target)
+		case StJoin:
+			fmt.Fprintf(b, "%sjoin %s\n", indent, s.Target)
+		case StCompute:
+			fmt.Fprintf(b, "%scompute %d\n", indent, s.N)
+		case StLoop:
+			fmt.Fprintf(b, "%sloop %d {\n", indent, s.N)
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	}
+}
+
+// FromProgram reconstructs a File from a VM program (with synthesized
+// names), so any workload — including the generated benchmark suite — can
+// be dumped as source text. atomic reports which methods to mark atomic;
+// nil marks none. Flat op lists are rendered as-is; the printer performs a
+// simple run-length collapse of repeated operations into loops to keep
+// dumps readable.
+func FromProgram(prog *vm.Program, atomic func(vm.MethodID) bool) *File {
+	f := &File{Name: prog.Name}
+	for i := 0; i < prog.NumObjects; i++ {
+		id := vm.ObjectID(i)
+		od := ObjectDecl{Kind: KindObject, Name: objName(id)}
+		if n, ok := prog.ArrayLens[id]; ok {
+			od.Kind = KindArray
+			od.Len = n
+		}
+		f.Objects = append(f.Objects, od)
+	}
+	for _, m := range prog.Methods {
+		md := MethodDecl{Name: m.Name, Atomic: atomic != nil && atomic(m.ID)}
+		md.Body = collapseRuns(opsToStmts(prog, m.Body))
+		f.Methods = append(f.Methods, md)
+	}
+	for _, td := range prog.Threads {
+		f.Threads = append(f.Threads, ThreadDecl{
+			Entry:  prog.Methods[td.Entry].Name,
+			Forked: !td.AutoStart,
+		})
+	}
+	return f
+}
+
+func objName(id vm.ObjectID) string { return fmt.Sprintf("o%d", id) }
+
+func opsToStmts(prog *vm.Program, ops []vm.Op) []Stmt {
+	stmts := make([]Stmt, 0, len(ops))
+	for _, op := range ops {
+		var s Stmt
+		switch op.Kind {
+		case vm.OpRead, vm.OpWrite:
+			s.Kind = StRead
+			if op.Kind == vm.OpWrite {
+				s.Kind = StWrite
+			}
+			s.Obj = objName(op.Obj)
+			s.Field = fmt.Sprintf("f%d", op.Field)
+		case vm.OpArrayRead, vm.OpArrayWrite:
+			s.Kind = StRead
+			if op.Kind == vm.OpArrayWrite {
+				s.Kind = StWrite
+			}
+			s.Obj = objName(op.Obj)
+			s.Index = int(op.Field)
+			s.IsArray = true
+		case vm.OpAcquire:
+			s.Kind = StAcquire
+			s.Obj = objName(op.Obj)
+		case vm.OpRelease:
+			s.Kind = StRelease
+			s.Obj = objName(op.Obj)
+		case vm.OpWait:
+			s.Kind = StWait
+			s.Obj = objName(op.Obj)
+		case vm.OpNotify:
+			s.Kind = StNotify
+			s.Obj = objName(op.Obj)
+		case vm.OpNotifyAll:
+			s.Kind = StNotifyAll
+			s.Obj = objName(op.Obj)
+		case vm.OpCall:
+			s.Kind = StCall
+			s.Target = prog.Methods[op.Target].Name
+		case vm.OpFork:
+			s.Kind = StFork
+			s.Target = prog.Methods[prog.Threads[op.Target].Entry].Name
+		case vm.OpJoin:
+			s.Kind = StJoin
+			s.Target = prog.Methods[prog.Threads[op.Target].Entry].Name
+		case vm.OpCompute:
+			s.Kind = StCompute
+			s.N = int(op.Target)
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts
+}
+
+// collapseRuns rewrites maximal runs of an identical statement as loops.
+func collapseRuns(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for i := 0; i < len(stmts); {
+		j := i + 1
+		for j < len(stmts) && sameStmt(stmts[i], stmts[j]) {
+			j++
+		}
+		if n := j - i; n >= 3 {
+			out = append(out, Stmt{Kind: StLoop, N: n, Body: []Stmt{stmts[i]}})
+		} else {
+			out = append(out, stmts[i:j]...)
+		}
+		i = j
+	}
+	return out
+}
+
+func sameStmt(a, b Stmt) bool {
+	return a.Kind == b.Kind && a.Obj == b.Obj && a.Field == b.Field &&
+		a.Index == b.Index && a.IsArray == b.IsArray &&
+		a.Target == b.Target && a.N == b.N && len(a.Body) == 0 && len(b.Body) == 0
+}

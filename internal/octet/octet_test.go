@@ -1,0 +1,380 @@
+package octet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"doublechecker/internal/cost"
+	"doublechecker/internal/vm"
+)
+
+// hookLog records hook invocations for assertions.
+type hookLog struct {
+	entries []string
+}
+
+func (h *hookLog) HandleConflicting(resp, req vm.ThreadID, old, new State, explicit bool) {
+	h.entries = append(h.entries, fmt.Sprintf("conflict resp=t%d req=t%d %v->%v explicit=%v",
+		resp, req, old, new, explicit))
+}
+func (h *hookLog) HandleUpgrading(t vm.ThreadID, rdExOwner vm.ThreadID, old, new State) {
+	h.entries = append(h.entries, fmt.Sprintf("upgrade t=t%d rdExOwner=t%d %v->%v", t, rdExOwner, old, new))
+}
+func (h *hookLog) HandleFence(t vm.ThreadID, c uint64) {
+	h.entries = append(h.entries, fmt.Sprintf("fence t=t%d c=%d", t, c))
+}
+
+func newEngine(h Hooks) *Engine {
+	e := New(h, nil, nil)
+	for t := vm.ThreadID(0); t < 8; t++ {
+		e.ThreadStart(t)
+	}
+	return e
+}
+
+// TestTable1Transitions exhaustively checks every row of the paper's
+// Table 1.
+func TestTable1Transitions(t *testing.T) {
+	const obj = vm.ObjectID(0)
+	t1, t2 := vm.ThreadID(1), vm.ThreadID(2)
+
+	type step struct {
+		write    bool
+		thread   vm.ThreadID
+		wantKind TransitionKind
+		wantSt   State
+	}
+	cases := []struct {
+		name  string
+		setup []step // establish the old state
+		probe step
+	}{
+		{"WrExT R by T same",
+			[]step{{true, t1, Initial, State{Kind: WrEx, Owner: t1}}},
+			step{false, t1, Same, State{Kind: WrEx, Owner: t1}}},
+		{"WrExT W by T same",
+			[]step{{true, t1, Initial, State{Kind: WrEx, Owner: t1}}},
+			step{true, t1, Same, State{Kind: WrEx, Owner: t1}}},
+		{"RdExT R by T same",
+			[]step{{false, t1, Initial, State{Kind: RdEx, Owner: t1}}},
+			step{false, t1, Same, State{Kind: RdEx, Owner: t1}}},
+		{"RdExT W by T upgrading to WrExT",
+			[]step{{false, t1, Initial, State{Kind: RdEx, Owner: t1}}},
+			step{true, t1, Upgrading, State{Kind: WrEx, Owner: t1}}},
+		{"RdExT1 R by T2 upgrading to RdSh",
+			[]step{{false, t1, Initial, State{Kind: RdEx, Owner: t1}}},
+			step{false, t2, Upgrading, State{Kind: RdSh, Counter: 1}}},
+		{"WrExT1 W by T2 conflicting to WrExT2",
+			[]step{{true, t1, Initial, State{Kind: WrEx, Owner: t1}}},
+			step{true, t2, Conflicting, State{Kind: WrEx, Owner: t2}}},
+		{"WrExT1 R by T2 conflicting to RdExT2",
+			[]step{{true, t1, Initial, State{Kind: WrEx, Owner: t1}}},
+			step{false, t2, Conflicting, State{Kind: RdEx, Owner: t2}}},
+		{"RdExT1 W by T2 conflicting to WrExT2",
+			[]step{{false, t1, Initial, State{Kind: RdEx, Owner: t1}}},
+			step{true, t2, Conflicting, State{Kind: WrEx, Owner: t2}}},
+		{"RdSh W by T conflicting to WrExT",
+			[]step{
+				{false, t1, Initial, State{Kind: RdEx, Owner: t1}},
+				{false, t2, Upgrading, State{Kind: RdSh, Counter: 1}},
+			},
+			step{true, t1, Conflicting, State{Kind: WrEx, Owner: t1}}},
+		{"RdSh R by reader-up-to-date same",
+			[]step{
+				{false, t1, Initial, State{Kind: RdEx, Owner: t1}},
+				{false, t2, Upgrading, State{Kind: RdSh, Counter: 1}},
+			},
+			step{false, t2, Same, State{Kind: RdSh, Counter: 1}}},
+		{"RdSh R by stale reader fence",
+			[]step{
+				{false, t1, Initial, State{Kind: RdEx, Owner: t1}},
+				{false, t2, Upgrading, State{Kind: RdSh, Counter: 1}},
+			},
+			step{false, t1, Fence, State{Kind: RdSh, Counter: 1}}},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := newEngine(&hookLog{})
+			apply := func(s step) Transition {
+				if s.write {
+					return e.BeforeWrite(s.thread, obj)
+				}
+				return e.BeforeRead(s.thread, obj)
+			}
+			for i, s := range c.setup {
+				tr := apply(s)
+				if tr.Kind != s.wantKind || tr.New != s.wantSt {
+					t.Fatalf("setup step %d: got %v -> %v, want %v -> %v",
+						i, tr.Kind, tr.New, s.wantKind, s.wantSt)
+				}
+			}
+			tr := apply(c.probe)
+			if tr.Kind != c.probe.wantKind {
+				t.Errorf("transition kind = %v, want %v", tr.Kind, c.probe.wantKind)
+			}
+			if tr.New != c.probe.wantSt {
+				t.Errorf("new state = %v, want %v", tr.New, c.probe.wantSt)
+			}
+			if got := e.StateOf(obj); got != c.probe.wantSt {
+				t.Errorf("installed state = %v, want %v", got, c.probe.wantSt)
+			}
+		})
+	}
+}
+
+// TestFigure2Interleaving replays the paper's Figure 2: six threads, objects
+// o and p, exercising upgrade-to-RdSh, fences, and fence elision via the
+// per-thread counter.
+func TestFigure2Interleaving(t *testing.T) {
+	h := &hookLog{}
+	e := newEngine(h)
+	o, p := vm.ObjectID(0), vm.ObjectID(1)
+	t1, t2, t3, t4, t5, t6, t7 := vm.ThreadID(1), vm.ThreadID(2), vm.ThreadID(3),
+		vm.ThreadID(4), vm.ThreadID(5), vm.ThreadID(6), vm.ThreadID(7)
+
+	// wr o.f by T1: claims WrEx_T1.
+	if tr := e.BeforeWrite(t1, o); tr.Kind != Initial {
+		t.Fatalf("expected initial claim, got %v", tr.Kind)
+	}
+	// Give p a RdSh history first so counters line up with the figure:
+	// T7 writes p, T5 reads p (conflict -> RdEx_T5), T6 reads p (upgrade ->
+	// RdSh_c).
+	e.BeforeWrite(t7, p)
+	if tr := e.BeforeRead(t5, p); tr.Kind != Conflicting {
+		t.Fatalf("expected conflicting WrEx->RdEx, got %v", tr.Kind)
+	}
+	if tr := e.BeforeRead(t6, p); tr.Kind != Upgrading || tr.New.Kind != RdSh {
+		t.Fatalf("expected upgrade to RdSh, got %v %v", tr.Kind, tr.New)
+	}
+	cP := e.StateOf(p).Counter
+
+	// rd o.f by T2: conflicting WrEx_T1 -> RdEx_T2.
+	if tr := e.BeforeRead(t2, o); tr.Kind != Conflicting || tr.New != (State{Kind: RdEx, Owner: t2}) {
+		t.Fatalf("rd o by T2: got %v %v", tr.Kind, tr.New)
+	}
+	// rd o.f by T3: upgrading RdEx_T2 -> RdSh_{c+1}.
+	tr := e.BeforeRead(t3, o)
+	if tr.Kind != Upgrading || tr.New.Kind != RdSh || tr.New.Counter != cP+1 {
+		t.Fatalf("rd o by T3: got %v %v (want RdSh_%d)", tr.Kind, tr.New, cP+1)
+	}
+	cO := tr.New.Counter
+
+	// rd o.f by T4: T4.rdShCnt (0) < cO: fence transition.
+	if tr := e.BeforeRead(t4, o); tr.Kind != Fence {
+		t.Fatalf("rd o by T4: expected fence, got %v", tr.Kind)
+	}
+	if e.RdShCnt(t4) != cO {
+		t.Errorf("T4.rdShCnt = %d, want %d", e.RdShCnt(t4), cO)
+	}
+	// rd p.q by T4: p's counter (cP) <= T4.rdShCnt (cO = cP+1): no fence.
+	if tr := e.BeforeRead(t4, p); tr.Kind != Same {
+		t.Errorf("rd p by T4: expected fence elision (Same), got %v", tr.Kind)
+	}
+	// rd o.f by T5: T5 read p when it was RdEx... T5.rdShCnt is 0, so fence.
+	if tr := e.BeforeRead(t5, o); tr.Kind != Fence {
+		t.Errorf("rd o by T5: expected fence, got %v", tr.Kind)
+	}
+}
+
+func TestGlobalCounterMonotone(t *testing.T) {
+	e := newEngine(&hookLog{})
+	// Each RdEx -> RdSh upgrade increments gRdShCnt.
+	for i := 0; i < 5; i++ {
+		obj := vm.ObjectID(i)
+		e.BeforeRead(0, obj)       // Initial -> RdEx_0
+		tr := e.BeforeRead(1, obj) // upgrade -> RdSh
+		if tr.New.Counter != uint64(i+1) {
+			t.Fatalf("upgrade %d: counter = %d, want %d", i, tr.New.Counter, i+1)
+		}
+	}
+	if e.GRdShCnt() != 5 {
+		t.Errorf("gRdShCnt = %d, want 5", e.GRdShCnt())
+	}
+}
+
+func TestConflictRespondersForRdSh(t *testing.T) {
+	h := &hookLog{}
+	e := New(h, nil, nil)
+	for _, t := range []vm.ThreadID{0, 1, 2, 3} {
+		e.ThreadStart(t)
+	}
+	obj := vm.ObjectID(0)
+	e.BeforeRead(0, obj) // RdEx_0
+	e.BeforeRead(1, obj) // RdSh
+	h.entries = nil
+	e.BeforeWrite(2, obj) // conflicting: responders are all live threads but 2
+	if len(h.entries) != 3 {
+		t.Fatalf("expected 3 responder hooks, got %d: %v", len(h.entries), h.entries)
+	}
+	st := e.Stats()
+	if st.Responders != 3 || st.Conflicting == 0 {
+		t.Errorf("stats responders=%d conflicting=%d", st.Responders, st.Conflicting)
+	}
+}
+
+func TestConflictRespondersIncludeExitedImplicitly(t *testing.T) {
+	// An exited reader's dependence must not be dropped: it stays a
+	// responder, but via the trivial implicit protocol.
+	h := &hookLog{}
+	e := New(h, nil, nil)
+	for _, t := range []vm.ThreadID{0, 1, 2} {
+		e.ThreadStart(t)
+	}
+	obj := vm.ObjectID(0)
+	e.BeforeRead(0, obj)
+	e.BeforeRead(1, obj) // RdSh
+	e.ThreadExit(1)
+	h.entries = nil
+	e.BeforeWrite(2, obj)
+	if len(h.entries) != 2 {
+		t.Fatalf("expected 2 responders (incl. exited t1), got %v", h.entries)
+	}
+	if st := e.Stats(); st.Implicit != 1 || st.Explicit != 1 {
+		t.Errorf("exited responder should use implicit protocol: %+v", st)
+	}
+}
+
+func TestExplicitVsImplicitProtocol(t *testing.T) {
+	blockedSet := map[vm.ThreadID]bool{1: true}
+	h := &hookLog{}
+	e := New(h, func(t vm.ThreadID) bool { return blockedSet[t] }, nil)
+	e.ThreadStart(0)
+	e.ThreadStart(1)
+	e.ThreadStart(2)
+	obj := vm.ObjectID(0)
+	e.BeforeWrite(1, obj) // WrEx_1
+	e.BeforeWrite(2, obj) // conflict with blocked t1: implicit
+	st := e.Stats()
+	if st.Implicit != 1 || st.Explicit != 0 {
+		t.Errorf("implicit=%d explicit=%d, want 1/0", st.Implicit, st.Explicit)
+	}
+	e.BeforeWrite(0, obj) // conflict with running t2: explicit
+	st = e.Stats()
+	if st.Explicit != 1 {
+		t.Errorf("explicit=%d, want 1", st.Explicit)
+	}
+}
+
+func TestCostCharging(t *testing.T) {
+	model := cost.Default()
+	meter := cost.NewMeter(model)
+	e := New(NopHooks{}, nil, meter)
+	e.ThreadStart(0)
+	e.ThreadStart(1)
+	obj := vm.ObjectID(0)
+
+	e.BeforeWrite(0, obj) // initial: upgrade cost
+	afterInit := meter.Total()
+	e.BeforeWrite(0, obj) // fast path
+	if meter.Total()-afterInit != model.OctetFastPath {
+		t.Errorf("fast path charged %d, want %d", meter.Total()-afterInit, model.OctetFastPath)
+	}
+	before := meter.Total()
+	e.BeforeWrite(1, obj) // conflicting, explicit
+	if meter.Total()-before != model.OctetConflictExplicit {
+		t.Errorf("conflict charged %d, want %d", meter.Total()-before, model.OctetConflictExplicit)
+	}
+}
+
+func TestUpgradeToWrExDoesNotFireHooks(t *testing.T) {
+	h := &hookLog{}
+	e := newEngine(h)
+	obj := vm.ObjectID(0)
+	e.BeforeRead(1, obj) // RdEx_1
+	h.entries = nil
+	e.BeforeWrite(1, obj) // RdEx->WrEx upgrade: ICD safely ignores
+	if len(h.entries) != 0 {
+		t.Errorf("RdEx->WrEx should fire no hooks, got %v", h.entries)
+	}
+}
+
+func TestFenceHookCarriesCounter(t *testing.T) {
+	h := &hookLog{}
+	e := newEngine(h)
+	obj := vm.ObjectID(0)
+	e.BeforeRead(1, obj)
+	e.BeforeRead(2, obj) // RdSh_1
+	h.entries = nil
+	e.BeforeRead(3, obj) // fence for t3
+	if len(h.entries) != 1 || h.entries[0] != "fence t=t3 c=1" {
+		t.Errorf("fence hook = %v", h.entries)
+	}
+}
+
+// TestPropertyFastPathIdempotent: immediately repeating any access on the
+// same object by the same thread is always a fast path (Same transition).
+func TestPropertyFastPathIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	e := newEngine(&hookLog{})
+	for i := 0; i < 2000; i++ {
+		th := vm.ThreadID(rng.Intn(4))
+		obj := vm.ObjectID(rng.Intn(6))
+		write := rng.Intn(2) == 0
+		if write {
+			e.BeforeWrite(th, obj)
+			if tr := e.BeforeWrite(th, obj); tr.Kind != Same {
+				t.Fatalf("iter %d: repeat write not fast path: %v (state %v)", i, tr.Kind, tr.Old)
+			}
+		} else {
+			e.BeforeRead(th, obj)
+			if tr := e.BeforeRead(th, obj); tr.Kind != Same {
+				t.Fatalf("iter %d: repeat read not fast path: %v (state %v)", i, tr.Kind, tr.Old)
+			}
+		}
+	}
+}
+
+// TestPropertyStateOwnershipInvariant: after a write barrier, the object is
+// always WrEx of the writer; after a read barrier, the state always permits
+// the reader (WrEx/RdEx owner, or RdSh with an up-to-date counter).
+func TestPropertyStateOwnershipInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	e := newEngine(&hookLog{})
+	for i := 0; i < 5000; i++ {
+		th := vm.ThreadID(rng.Intn(5))
+		obj := vm.ObjectID(rng.Intn(8))
+		if rng.Intn(3) == 0 {
+			e.BeforeWrite(th, obj)
+			st := e.StateOf(obj)
+			if st.Kind != WrEx || st.Owner != th {
+				t.Fatalf("iter %d: after write by t%d state is %v", i, th, st)
+			}
+		} else {
+			e.BeforeRead(th, obj)
+			st := e.StateOf(obj)
+			switch st.Kind {
+			case WrEx, RdEx:
+				if st.Owner != th {
+					t.Fatalf("iter %d: after read by t%d exclusive state %v", i, th, st)
+				}
+			case RdSh:
+				if e.RdShCnt(th) < st.Counter {
+					t.Fatalf("iter %d: after read by t%d stale counter %d < %d",
+						i, th, e.RdShCnt(th), st.Counter)
+				}
+			default:
+				t.Fatalf("iter %d: free state after read", i)
+			}
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []State{
+		{Kind: Free},
+		{Kind: WrEx, Owner: 3},
+		{Kind: RdEx, Owner: 1},
+		{Kind: RdSh, Counter: 17},
+	} {
+		if s.String() == "" {
+			t.Errorf("empty string for %v", s.Kind)
+		}
+	}
+	for _, k := range []TransitionKind{Same, Initial, Upgrading, Fence, Conflicting} {
+		if k.String() == "" {
+			t.Error("empty transition kind string")
+		}
+	}
+}

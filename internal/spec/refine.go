@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"fmt"
+
+	"doublechecker/internal/vm"
+)
+
+// CheckFunc runs one checking trial against a specification and returns the
+// methods blamed for atomicity violations in that trial. The trial number
+// seeds the schedule (run-to-run nondeterminism).
+type CheckFunc func(s *Spec, trial int) ([]vm.MethodID, error)
+
+// Result reports one iterative-refinement run.
+type Result struct {
+	// Final is the refined specification (no new violations for
+	// StableTrials consecutive trials).
+	Final *Spec
+	// Blamed is every method blamed at least once during the whole process
+	// — what Table 2 counts as "violations".
+	Blamed map[vm.MethodID]bool
+	// ExclusionOrder lists refinement-removed methods in removal order
+	// (used to reconstruct the paper's "halfway through refinement"
+	// specification, §5.4).
+	ExclusionOrder []vm.MethodID
+	// Trials is the number of checking trials executed.
+	Trials int
+	// Steps is the number of refinement steps that excluded something.
+	Steps int
+}
+
+// HalfwaySpec reconstructs the specification after the first half of the
+// eventually-excluded methods were removed (§5.4).
+func (r *Result) HalfwaySpec(initial *Spec) *Spec {
+	s := initial.Clone()
+	s.Exclude(r.ExclusionOrder[:len(r.ExclusionOrder)/2]...)
+	return s
+}
+
+// Options tunes refinement.
+type Options struct {
+	// StableTrials is how many consecutive no-new-violation trials
+	// terminate refinement; the paper uses 10. 0 means 10.
+	StableTrials int
+	// MaxTrials bounds the total trial count; 0 means 1000.
+	MaxTrials int
+}
+
+// Refine runs the paper's Figure 6 loop: check, blame, exclude blamed
+// methods, repeat until no new violations are reported for
+// Options.StableTrials consecutive trials.
+func Refine(initial *Spec, check CheckFunc, opts Options) (*Result, error) {
+	if opts.StableTrials == 0 {
+		opts.StableTrials = 10
+	}
+	if opts.MaxTrials == 0 {
+		opts.MaxTrials = 1000
+	}
+	res := &Result{
+		Final:  initial.Clone(),
+		Blamed: make(map[vm.MethodID]bool),
+	}
+	stable := 0
+	for stable < opts.StableTrials {
+		if res.Trials >= opts.MaxTrials {
+			return res, fmt.Errorf("spec: refinement did not stabilize in %d trials", opts.MaxTrials)
+		}
+		blamed, err := check(res.Final, res.Trials)
+		res.Trials++
+		if err != nil {
+			return res, fmt.Errorf("spec: trial %d: %w", res.Trials-1, err)
+		}
+		var fresh []vm.MethodID
+		for _, m := range blamed {
+			res.Blamed[m] = true
+			if res.Final.Atomic(m) {
+				fresh = append(fresh, m)
+			}
+		}
+		if len(fresh) > 0 {
+			res.Final.Exclude(fresh...)
+			res.ExclusionOrder = append(res.ExclusionOrder, fresh...)
+			res.Steps++
+			stable = 0
+		} else {
+			stable++
+		}
+	}
+	return res, nil
+}

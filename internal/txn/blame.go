@@ -1,0 +1,133 @@
+package txn
+
+import "doublechecker/internal/vm"
+
+// Violation is one detected conflict-serializability violation: a precise
+// cycle of transactions plus the blame assignment used by iterative
+// specification refinement.
+type Violation struct {
+	// Cycle lists the transactions of the cycle in path order
+	// (Cycle[i] -> Cycle[i+1], wrapping).
+	Cycle []*Txn
+	// Blamed holds the transactions blame assignment picked (paper §3.3): a
+	// transaction is blamed when its outgoing cycle edge was created before
+	// its incoming cycle edge, implying it completed the cycle.
+	Blamed []*Txn
+	// BlamedMethods are the distinct methods of blamed regular
+	// transactions; refinement removes these from the specification.
+	BlamedMethods []vm.MethodID
+	// Seq is the global clock at detection time.
+	Seq uint64
+}
+
+// NewViolation builds a Violation from a cycle path, running blame
+// assignment over the transactions' own edges.
+func NewViolation(cycle []*Txn, seq uint64) Violation {
+	return NewViolationWith(cycle, seq, edgeOrderOf)
+}
+
+// NewViolationWith builds a Violation using an external edge-order lookup
+// (PCD's precise dependence graph keeps its edges outside the transactions).
+func NewViolationWith(cycle []*Txn, seq uint64, order func(src, dst *Txn) (uint64, bool)) Violation {
+	v := Violation{Cycle: cycle, Seq: seq}
+	v.Blamed = BlameWith(cycle, order)
+	seen := make(map[vm.MethodID]bool)
+	for _, tx := range v.Blamed {
+		if !tx.Unary && tx.Method != vm.NoMethod && !seen[tx.Method] {
+			seen[tx.Method] = true
+			v.BlamedMethods = append(v.BlamedMethods, tx.Method)
+		}
+	}
+	return v
+}
+
+// Blame returns the transactions of the cycle whose outgoing cycle edge was
+// created earlier than their incoming cycle edge ("the transaction completes
+// a cycle", paper §3.3), using the transactions' own edges.
+func Blame(cycle []*Txn) []*Txn { return BlameWith(cycle, edgeOrderOf) }
+
+func edgeOrderOf(src, dst *Txn) (uint64, bool) {
+	if e := src.EdgeTo(dst); e != nil {
+		return e.Order, true
+	}
+	return 0, false
+}
+
+// BlameWith is Blame with an external edge-order lookup. If edge orders are
+// equal or missing, no transaction is blamed for that position. As a
+// fallback — a cycle must blame someone for refinement to make progress —
+// when no transaction qualifies, the transaction with the oldest outgoing
+// edge is blamed.
+func BlameWith(cycle []*Txn, order func(src, dst *Txn) (uint64, bool)) []*Txn {
+	n := len(cycle)
+	if n == 0 {
+		return nil
+	}
+	var blamed []*Txn
+	oldest := -1
+	var oldestOrder uint64
+	for i := 0; i < n; i++ {
+		cur := cycle[i]
+		next := cycle[(i+1)%n]
+		prev := cycle[(i-1+n)%n]
+		var out, in uint64
+		var outOK, inOK bool
+		if n == 1 {
+			out, outOK = order(cur, cur)
+			in, inOK = out, outOK
+		} else {
+			out, outOK = order(cur, next)
+			in, inOK = order(prev, cur)
+		}
+		if !outOK || !inOK {
+			continue
+		}
+		if oldest == -1 || out < oldestOrder {
+			oldest = i
+			oldestOrder = out
+		}
+		if n == 1 || out < in {
+			blamed = append(blamed, cur)
+		}
+	}
+	if len(blamed) == 0 && oldest >= 0 {
+		blamed = append(blamed, cycle[oldest])
+	}
+	return blamed
+}
+
+// Filter restricts which transactions a checker instruments. It implements
+// the second run of multi-run mode (paper §3.1): only regular transactions
+// whose static start method appears in the first run's output are monitored,
+// and unary (non-transactional) accesses are monitored only when any first
+// run found a unary transaction in a cycle. The nil *Filter instruments
+// everything.
+type Filter struct {
+	// Methods selects regular transactions by their starting method.
+	Methods map[vm.MethodID]bool
+	// Unary selects non-transactional accesses.
+	Unary bool
+}
+
+// TxSelected reports whether a regular transaction starting at m is
+// monitored.
+func (f *Filter) TxSelected(m vm.MethodID) bool {
+	if f == nil {
+		return true
+	}
+	return f.Methods[m]
+}
+
+// UnarySelected reports whether non-transactional accesses are monitored.
+func (f *Filter) UnarySelected() bool {
+	if f == nil {
+		return true
+	}
+	return f.Unary
+}
+
+// Empty reports whether the filter selects nothing at all (the second run
+// can skip instrumentation entirely; see Table 3's all-zero rows).
+func (f *Filter) Empty() bool {
+	return f != nil && len(f.Methods) == 0 && !f.Unary
+}

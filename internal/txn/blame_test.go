@@ -1,0 +1,96 @@
+package txn
+
+import (
+	"testing"
+
+	"doublechecker/internal/vm"
+)
+
+func TestBlameOutgoingBeforeIncoming(t *testing.T) {
+	m := newMgr(false)
+	a := m.BeginRegular(0, 1)
+	b := m.BeginRegular(1, 2)
+	// a->b created first, then b->a: a's outgoing edge (order 1) precedes
+	// its incoming edge (order 2), so a completed the cycle.
+	m.AddCrossEdge(a, b)
+	m.AddCrossEdge(b, a)
+	blamed := Blame([]*Txn{a, b})
+	if len(blamed) != 1 || blamed[0] != a {
+		t.Errorf("blamed = %v, want [a]", blamed)
+	}
+}
+
+func TestBlameSelfLoopCycle(t *testing.T) {
+	// Degenerate single-node cycle: blame it.
+	m := newMgr(false)
+	a := m.BeginRegular(0, 1)
+	b := m.BeginRegular(1, 2)
+	m.AddCrossEdge(a, b)
+	m.AddCrossEdge(b, a)
+	if got := Blame([]*Txn{a}); len(got) != 0 {
+		// a has no self edge: nothing to blame in a malformed cycle.
+		t.Errorf("blame of non-cycle = %v", got)
+	}
+}
+
+func TestNewViolationCollectsMethods(t *testing.T) {
+	m := newMgr(false)
+	a := m.BeginRegular(0, 7)
+	u := m.Current(1) // unary
+	m.AddCrossEdge(a, u)
+	m.AddCrossEdge(u, a)
+	v := NewViolation([]*Txn{a, u}, 5)
+	if len(v.Blamed) == 0 {
+		t.Fatal("someone must be blamed")
+	}
+	for _, meth := range v.BlamedMethods {
+		if meth == vm.NoMethod {
+			t.Error("unary transactions must not contribute methods")
+		}
+	}
+	if v.Seq != 5 {
+		t.Errorf("seq = %d", v.Seq)
+	}
+}
+
+func TestBlameThreeCycle(t *testing.T) {
+	m := newMgr(false)
+	a := m.BeginRegular(0, 1)
+	b := m.BeginRegular(1, 2)
+	c := m.BeginRegular(2, 3)
+	m.AddCrossEdge(a, b) // order 1
+	m.AddCrossEdge(b, c) // order 2
+	m.AddCrossEdge(c, a) // order 3
+	blamed := Blame([]*Txn{a, b, c})
+	// a: out=1 in=3 -> blamed; b: out=2 in=1 -> not; c: out=3 in=2 -> not.
+	if len(blamed) != 1 || blamed[0] != a {
+		t.Errorf("blamed = %v, want [a]", blamed)
+	}
+}
+
+func TestFilterNilSelectsAll(t *testing.T) {
+	var f *Filter
+	if !f.TxSelected(3) || !f.UnarySelected() {
+		t.Error("nil filter must select everything")
+	}
+	if f.Empty() {
+		t.Error("nil filter is not empty")
+	}
+}
+
+func TestFilterSelection(t *testing.T) {
+	f := &Filter{Methods: map[vm.MethodID]bool{2: true}}
+	if !f.TxSelected(2) || f.TxSelected(3) {
+		t.Error("method selection wrong")
+	}
+	if f.UnarySelected() {
+		t.Error("unary not selected")
+	}
+	if f.Empty() {
+		t.Error("filter with methods is not empty")
+	}
+	empty := &Filter{}
+	if !empty.Empty() {
+		t.Error("empty filter should report Empty")
+	}
+}

@@ -1,0 +1,182 @@
+package txn
+
+import (
+	"testing"
+
+	"doublechecker/internal/cost"
+)
+
+func TestEdgeSinkSplitsMergedUnary(t *testing.T) {
+	m := newMgr(true)
+	u := m.Current(0)
+	m.Record(0, 1, 0, true, false, 1) // unary now has an access
+	sink := m.EdgeSink(0)
+	if sink == u {
+		t.Fatal("merged unary must split before receiving an incoming edge")
+	}
+	if !u.Finished {
+		t.Error("split must retire the old unary")
+	}
+	if u.EdgeTo(sink) == nil {
+		t.Error("program-order edge from old to fresh unary missing")
+	}
+	// A second edge for the same access reuses the fresh sink (no access
+	// recorded yet).
+	if m.EdgeSink(0) != sink {
+		t.Error("fresh sink must be reused until an access is recorded")
+	}
+}
+
+func TestEdgeSinkLeavesFreshUnaryAndRegulars(t *testing.T) {
+	m := newMgr(true)
+	u := m.Current(0)
+	if m.EdgeSink(0) != u {
+		t.Error("fresh unary (no accesses) must be its own sink")
+	}
+	r := m.BeginRegular(1, 2)
+	m.Record(1, 1, 0, true, false, 1)
+	if m.EdgeSink(1) != r {
+		t.Error("regular transactions never split")
+	}
+}
+
+func TestEdgeSourceSemantics(t *testing.T) {
+	m := newMgr(false)
+	if m.EdgeSource(0) != nil {
+		t.Error("thread with no transactions has no edge source")
+	}
+	tx := m.BeginRegular(0, 1)
+	if m.EdgeSource(0) != tx {
+		t.Error("running regular is the source")
+	}
+	m.EndRegular(0)
+	if m.EdgeSource(0) != tx {
+		t.Error("finished-but-current regular remains the source")
+	}
+	m.ThreadExit(0)
+	if m.EdgeSource(0) != tx {
+		t.Error("exited thread's last transaction remains the source")
+	}
+}
+
+func TestMarksOnlyWhenLogging(t *testing.T) {
+	m := newMgr(false)
+	a := m.BeginRegular(0, 1)
+	b := m.BeginRegular(1, 2)
+	m.AddCrossEdge(a, b)
+	if len(a.Marks)+len(b.Marks) != 0 {
+		t.Error("marks must not be recorded without logging")
+	}
+}
+
+func TestSweepFreesMarkBytes(t *testing.T) {
+	model := cost.Default()
+	model.GCTriggerBytes = 0
+	meter := cost.NewMeter(model)
+	m := NewManager(true, nil, meter)
+	a := m.BeginRegular(0, 1)
+	b := m.BeginRegular(1, 2)
+	for i := 0; i < 50; i++ {
+		m.Record(1, 5, 0, true, false, uint64(10+i)) // advance b's log
+		m.AddCrossEdge(a, b)                         // occurrence -> mark pair
+	}
+	m.EndRegular(0)
+	m.EndRegular(1)
+	m.BeginRegular(0, 3)
+	m.BeginRegular(1, 3)
+	// a and b are unreachable except... b is reachable from a via edges?
+	// a -> b exists; a is not a root; both get swept.
+	before := meter.LiveBytes()
+	swept := m.Collect(nil)
+	if swept < 2 {
+		t.Fatalf("swept = %d, want at least a and b", swept)
+	}
+	if meter.LiveBytes() >= before {
+		t.Error("sweep must free bytes")
+	}
+	// The mark bytes specifically: 50 occurrences * 2 marks * 8 bytes were
+	// allocated; after the sweep the remaining live bytes must be far below
+	// the mark volume (only the two fresh regulars remain).
+	if meter.LiveBytes() > 4*96+64 {
+		t.Errorf("live bytes %d suggest marks were not freed", meter.LiveBytes())
+	}
+}
+
+func TestDisableUnaryMerging(t *testing.T) {
+	m := newMgr(false)
+	m.DisableUnaryMerging()
+	u1 := m.Current(0)
+	m.Record(0, 1, 0, false, false, 1)
+	u2 := m.Current(0)
+	if u1 == u2 {
+		t.Fatal("merging disabled: each access gets a fresh unary")
+	}
+	if !u1.Finished {
+		t.Error("previous unary must be retired")
+	}
+}
+
+func TestDisableElision(t *testing.T) {
+	m := newMgr(true)
+	m.DisableElision()
+	tx := m.BeginRegular(0, 1)
+	m.Record(0, 1, 0, false, false, 1)
+	m.Record(0, 1, 0, false, false, 2)
+	if len(tx.Log) != 2 {
+		t.Errorf("log = %d entries, want 2 (no elision)", len(tx.Log))
+	}
+	if m.Stats().LogElided != 0 {
+		t.Error("nothing may be elided")
+	}
+}
+
+func TestAccessesCountIndependentOfLogging(t *testing.T) {
+	m := newMgr(false) // no logging
+	tx := m.BeginRegular(0, 1)
+	m.Record(0, 1, 0, false, false, 1)
+	m.Record(0, 1, 0, false, false, 2)
+	if tx.Accesses() != 2 {
+		t.Errorf("accesses = %d, want 2", tx.Accesses())
+	}
+	if len(tx.Log) != 0 {
+		t.Error("no log entries without logging")
+	}
+}
+
+func TestOnIntraEdgeCallback(t *testing.T) {
+	m := newMgr(false)
+	var got [][2]uint64
+	m.OnIntraEdge(func(src, dst *Txn) { got = append(got, [2]uint64{src.ID, dst.ID}) })
+	a := m.BeginRegular(0, 1)
+	m.EndRegular(0)
+	b := m.BeginRegular(0, 2)
+	if len(got) != 1 || got[0] != [2]uint64{a.ID, b.ID} {
+		t.Errorf("intra edge callback: %v", got)
+	}
+}
+
+func TestAllReturnsLiveTxns(t *testing.T) {
+	m := newMgr(false)
+	m.BeginRegular(0, 1)
+	m.EndRegular(0)
+	m.BeginRegular(0, 2)
+	if len(m.All()) != 2 || m.Live() != 2 {
+		t.Errorf("all=%d live=%d", len(m.All()), m.Live())
+	}
+	m.Collect(nil)
+	if m.Live() != 1 {
+		t.Errorf("live after collect = %d", m.Live())
+	}
+}
+
+func TestInterruptedAccessor(t *testing.T) {
+	m := newMgr(false)
+	u := m.Current(0)
+	if u.Interrupted() {
+		t.Error("fresh unary is not interrupted")
+	}
+	m.AddCrossEdge(m.Current(1), u)
+	if !u.Interrupted() {
+		t.Error("edge must interrupt")
+	}
+}

@@ -1,0 +1,368 @@
+// Package velodrome implements the Velodrome sound and precise dynamic
+// conflict-serializability checker (Flanagan, Freund, Yi — PLDI 2008), the
+// baseline the paper compares against (paper §2, §4 "Velodrome
+// implementation").
+//
+// Velodrome tracks, for every field, the last transaction to write it and
+// the last transaction of each thread to read it since that write. At every
+// access it adds any implied cross-thread dependence edges to a transaction
+// dependence graph and immediately checks for a cycle; a cycle is a sound
+// and precise witness of a conflict-serializability violation. To keep the
+// analysis and the access atomic in a racy program, the real implementation
+// locks a metadata word around every access — the dominant cost the paper
+// measures (82% of overhead) — which our cost model charges as
+// Model.VeloSync per access.
+//
+// The unsound variant (paper §5.3) skips synchronization when the metadata
+// would not change (current transaction already last writer/reader). In our
+// deterministic interpreter the variant cannot actually miss dependences
+// (every step is atomic), so it differs only in cost — precisely the point
+// of comparing against it.
+package velodrome
+
+import (
+	"doublechecker/internal/cost"
+	"doublechecker/internal/graph"
+	"doublechecker/internal/txn"
+	"doublechecker/internal/vm"
+)
+
+// fieldKey identifies one metadata cell. Synchronization accesses use the
+// object's dedicated header word (paper §4), modelled by the sync flag.
+type fieldKey struct {
+	obj   vm.ObjectID
+	field vm.FieldID
+	sync  bool
+}
+
+// metadata is the per-field last-access state.
+type metadata struct {
+	lastWrite *txn.Txn
+	lastReads map[vm.ThreadID]*txn.Txn
+}
+
+// Stats counts checker activity.
+type Stats struct {
+	InstrumentedAccesses uint64
+	EdgesAdded           uint64
+	CycleChecks          uint64
+	CycleNodesVisited    uint64
+	SyncFastSkips        uint64 // unsound variant: accesses that skipped sync
+	ViolationsDynamic    uint64
+}
+
+// Options configures a Checker.
+type Options struct {
+	// Unsound enables the no-sync-when-unchanged variant (§5.3).
+	Unsound bool
+	// InstrumentArrays includes array element accesses, conflating all
+	// elements of an array in one metadata cell (§5.4).
+	InstrumentArrays bool
+	// DisableCycleDetection turns off online cycle checks for the §5.4
+	// array experiment (element conflation makes detection imprecise, so
+	// the paper turns it off there). The zero value detects cycles.
+	DisableCycleDetection bool
+	// Filter restricts instrumentation (used when Velodrome serves as the
+	// second run of multi-run mode, §5.3). nil instruments everything.
+	Filter *txn.Filter
+	// GCPeriod runs transaction-graph collection every N instrumented
+	// accesses; 0 uses the default (8192).
+	GCPeriod uint64
+	// IncrementalCycles swaps the per-edge DFS cycle check for an
+	// incremental topological order (Pearce–Kelly; internal/graph). The
+	// hybrid is exact: while no violation has been found the maintained
+	// DAG equals the dependence graph, so its verdicts are sound and
+	// precise; after the first violation the checker falls back to DFS
+	// (cyclic graphs have no topological order). An extension beyond the
+	// paper, compared in the benchmarks.
+	IncrementalCycles bool
+}
+
+// Checker is a Velodrome instance; it implements vm.Instrumentation.
+type Checker struct {
+	vm.NopInst
+	prog  *vm.Program
+	meter *cost.Meter
+	opts  Options
+	mgr   *txn.Manager
+
+	meta map[fieldKey]*metadata
+
+	// skipping tracks threads currently inside an unmonitored regular
+	// transaction (filtered out by opts.Filter).
+	skipping map[vm.ThreadID]bool
+
+	exec       *vm.Exec
+	violations []txn.Violation
+	stats      Stats
+	sinceGC    uint64
+
+	inc      *graph.IncrementalDAG[*txn.Txn]
+	incDirty bool // a cycle exists: the incremental order is no longer usable
+}
+
+// NewChecker returns a Velodrome checker. meter may be nil.
+func NewChecker(prog *vm.Program, meter *cost.Meter, opts Options) *Checker {
+	c := &Checker{
+		prog:     prog,
+		meter:    meter,
+		opts:     opts,
+		meta:     make(map[fieldKey]*metadata),
+		skipping: make(map[vm.ThreadID]bool),
+	}
+	if c.opts.GCPeriod == 0 {
+		c.opts.GCPeriod = 8192
+	}
+	c.mgr = txn.NewManager(false, nil, meter)
+	c.attachIncremental()
+	return c
+}
+
+// attachIncremental (re)creates the incremental cycle engine and mirrors
+// the manager's intra-thread edges into it (cycles can route through
+// program order, so the DAG needs every edge, not just the cross edges the
+// checker adds itself).
+func (c *Checker) attachIncremental() {
+	if !c.opts.IncrementalCycles {
+		return
+	}
+	c.inc = graph.NewIncrementalDAG[*txn.Txn]()
+	c.incDirty = false
+	c.mgr.OnIntraEdge(func(src, dst *txn.Txn) {
+		if !c.incDirty {
+			c.inc.AddEdge(src, dst) // dst is brand new: can never close a cycle
+		}
+	})
+}
+
+// Violations returns the dynamic violations detected, in detection order.
+func (c *Checker) Violations() []txn.Violation { return c.violations }
+
+// Stats returns checker counters.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// TxnStats returns the underlying transaction-manager counters.
+func (c *Checker) TxnStats() txn.Stats { return c.mgr.Stats() }
+
+// ProgramStart implements vm.Instrumentation.
+func (c *Checker) ProgramStart(e *vm.Exec) {
+	c.exec = e
+	c.mgr = txn.NewManager(false, e.Now, c.meter)
+	c.attachIncremental()
+}
+
+// TxBegin implements vm.Instrumentation.
+func (c *Checker) TxBegin(t vm.ThreadID, m vm.MethodID) {
+	if !c.opts.Filter.TxSelected(m) {
+		c.skipping[t] = true
+		return
+	}
+	c.mgr.BeginRegular(t, m)
+}
+
+// TxEnd implements vm.Instrumentation.
+func (c *Checker) TxEnd(t vm.ThreadID, m vm.MethodID) {
+	if c.skipping[t] {
+		delete(c.skipping, t)
+		return
+	}
+	c.mgr.EndRegular(t)
+}
+
+// ThreadExit implements vm.Instrumentation.
+func (c *Checker) ThreadExit(t vm.ThreadID) { c.mgr.ThreadExit(t) }
+
+// Access implements vm.Instrumentation: the Velodrome barrier.
+func (c *Checker) Access(a vm.Access) {
+	if c.skipping[a.Thread] {
+		return
+	}
+	inTx := c.exec != nil && c.exec.InTx(a.Thread)
+	if !inTx && !c.opts.Filter.UnarySelected() {
+		return
+	}
+	var key fieldKey
+	switch a.Class {
+	case vm.ClassArray:
+		if !c.opts.InstrumentArrays {
+			return
+		}
+		// Array-level metadata: conflate all elements (paper §5.4).
+		key = fieldKey{obj: a.Obj, field: 0, sync: false}
+	case vm.ClassSync:
+		key = fieldKey{obj: a.Obj, field: a.Field, sync: true}
+	default:
+		key = fieldKey{obj: a.Obj, field: a.Field, sync: false}
+	}
+
+	c.stats.InstrumentedAccesses++
+	md := c.meta[key]
+	if md == nil {
+		md = &metadata{lastReads: make(map[vm.ThreadID]*txn.Txn)}
+		c.meta[key] = md
+	}
+	// If this access receives an incoming cross-thread edge, a merged unary
+	// transaction must be cut first (see txn.Manager.EdgeSink).
+	var cur *txn.Txn
+	if c.incomingEdge(md, a) {
+		cur = c.mgr.EdgeSink(a.Thread)
+	} else {
+		cur = c.mgr.Current(a.Thread)
+	}
+
+	// Analysis-access atomicity cost: the sound checker always pays the
+	// metadata lock; the unsound variant pays it only when the metadata
+	// actually changes.
+	model := c.model()
+	changes := c.metadataChanges(md, cur, a)
+	if c.opts.Unsound && !changes {
+		c.charge(model.VeloNoSyncPath)
+		c.stats.SyncFastSkips++
+	} else {
+		c.charge(model.VeloSync)
+	}
+
+	if a.Write {
+		c.write(md, cur, a.Seq)
+	} else {
+		c.read(md, cur, a.Seq)
+	}
+	c.mgr.Record(a.Thread, a.Obj, a.Field, a.Write, a.Class == vm.ClassSync, a.Seq)
+
+	c.sinceGC++
+	if c.sinceGC >= c.opts.GCPeriod {
+		c.sinceGC = 0
+		c.collect()
+	}
+}
+
+// metadataChanges mirrors the unsound variant's check (§5.3: skip
+// synchronization when "the current transaction is already the last writer
+// or reader"): a read whose last-reader entry is already cur, or a write
+// whose last writer is cur with no foreign readers, leaves the metadata
+// semantically unchanged.
+func (c *Checker) metadataChanges(md *metadata, cur *txn.Txn, a vm.Access) bool {
+	if a.Write {
+		if md.lastWrite != cur {
+			return true
+		}
+		for t, rd := range md.lastReads {
+			if t != a.Thread || rd != cur {
+				return true
+			}
+		}
+		return false
+	}
+	return md.lastReads[a.Thread] != cur
+}
+
+// incomingEdge reports whether this access will receive a cross-thread
+// dependence edge (Figure 5's edge conditions).
+func (c *Checker) incomingEdge(md *metadata, a vm.Access) bool {
+	if md.lastWrite != nil && md.lastWrite.Thread != a.Thread {
+		return true
+	}
+	if !a.Write {
+		return false
+	}
+	for t := range md.lastReads {
+		if t != a.Thread {
+			return true
+		}
+	}
+	return false
+}
+
+// read applies the READ rule of Figure 5.
+func (c *Checker) read(md *metadata, cur *txn.Txn, seq uint64) {
+	c.charge(c.model().VeloMetadata)
+	if md.lastWrite != nil && md.lastWrite.Thread != cur.Thread {
+		c.addEdge(md.lastWrite, cur, seq)
+	}
+	md.lastReads[cur.Thread] = cur
+}
+
+// write applies the WRITE rule of Figure 5.
+func (c *Checker) write(md *metadata, cur *txn.Txn, seq uint64) {
+	c.charge(c.model().VeloMetadata)
+	if md.lastWrite != nil && md.lastWrite.Thread != cur.Thread {
+		c.addEdge(md.lastWrite, cur, seq)
+	}
+	for t, rd := range md.lastReads {
+		if t != cur.Thread {
+			c.addEdge(rd, cur, seq)
+		}
+	}
+	md.lastWrite = cur
+	for t := range md.lastReads {
+		delete(md.lastReads, t)
+	}
+}
+
+// addEdge inserts a cross-thread edge and immediately checks for a cycle
+// through it (Velodrome detects cycles online, per edge).
+func (c *Checker) addEdge(src, dst *txn.Txn, seq uint64) {
+	if src == dst || src.EdgeTo(dst) != nil {
+		return
+	}
+	c.mgr.AddCrossEdge(src, dst)
+	c.stats.EdgesAdded++
+	c.charge(c.model().VeloEdge)
+	if c.opts.DisableCycleDetection {
+		return
+	}
+	c.stats.CycleChecks++
+	if c.inc != nil && !c.incDirty {
+		// Incremental engine: exact while the dependence graph is acyclic.
+		before := c.inc.Stats().Visited
+		closed := c.inc.AddEdge(src, dst)
+		visited := c.inc.Stats().Visited - before + 1
+		c.stats.CycleNodesVisited += visited
+		c.charge(c.model().VeloCycleNode * cost.Units(visited))
+		if !closed {
+			return
+		}
+		// A real cycle exists; recover the path for reporting and fall
+		// back to DFS from here on.
+		c.incDirty = true
+	}
+	// The new edge src->dst closes a cycle iff dst reaches src; the
+	// returned path dst -> ... -> src plus the new edge is the cycle.
+	succ := func(t *txn.Txn) []*txn.Txn {
+		c.stats.CycleNodesVisited++
+		c.charge(c.model().VeloCycleNode)
+		return t.Succs()
+	}
+	if path := graph.FindPath(dst, src, succ); path != nil {
+		c.stats.ViolationsDynamic++
+		c.violations = append(c.violations, txn.NewViolation(path, seq))
+	}
+}
+
+// collect garbage-collects transactions unreachable from the metadata and
+// thread-current roots.
+func (c *Checker) collect() {
+	var roots []*txn.Txn
+	for _, md := range c.meta {
+		if md.lastWrite != nil {
+			roots = append(roots, md.lastWrite)
+		}
+		for _, rd := range md.lastReads {
+			roots = append(roots, rd)
+		}
+	}
+	c.mgr.Collect(roots)
+}
+
+func (c *Checker) charge(u cost.Units) {
+	if c.meter != nil {
+		c.meter.Charge(u)
+	}
+}
+
+func (c *Checker) model() cost.Model {
+	if c.meter != nil {
+		return c.meter.Model()
+	}
+	return cost.Model{}
+}

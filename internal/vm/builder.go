@@ -1,0 +1,195 @@
+package vm
+
+import "fmt"
+
+// Builder constructs Programs programmatically. The workload generators and
+// the examples use it; parsed surface programs are lowered through it as
+// well, so validation lives in one place.
+//
+//	b := vm.NewBuilder("bank")
+//	acct := b.Object()
+//	lock := b.Object()
+//	deposit := b.Method("deposit")
+//	deposit.Acquire(lock).Read(acct, 0).Write(acct, 0).Release(lock)
+//	main := b.Method("main")
+//	main.CallN(deposit, 100)
+//	b.Thread(main)
+//	prog, err := b.Build()
+type Builder struct {
+	name     string
+	methods  []*Method
+	builders []*MethodBuilder
+	threads  []ThreadDecl
+	objects  int
+	arrays   map[ObjectID]int
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, arrays: make(map[ObjectID]int)}
+}
+
+// Object allocates a fresh shared object and returns its ID.
+func (b *Builder) Object() ObjectID {
+	id := ObjectID(b.objects)
+	b.objects++
+	return id
+}
+
+// Objects allocates n fresh objects and returns their IDs.
+func (b *Builder) Objects(n int) []ObjectID {
+	ids := make([]ObjectID, n)
+	for i := range ids {
+		ids[i] = b.Object()
+	}
+	return ids
+}
+
+// Array allocates an array object of the given length.
+func (b *Builder) Array(length int) ObjectID {
+	id := b.Object()
+	b.arrays[id] = length
+	return id
+}
+
+// Method creates a new empty method with the given name.
+func (b *Builder) Method(name string) *MethodBuilder {
+	m := &Method{ID: MethodID(len(b.methods)), Name: name}
+	b.methods = append(b.methods, m)
+	mb := &MethodBuilder{m: m}
+	b.builders = append(b.builders, mb)
+	return mb
+}
+
+// Thread declares an auto-start thread with the given entry method and
+// returns its ID.
+func (b *Builder) Thread(entry *MethodBuilder) ThreadID {
+	id := ThreadID(len(b.threads))
+	b.threads = append(b.threads, ThreadDecl{ID: id, Entry: entry.m.ID, AutoStart: true})
+	return id
+}
+
+// ForkedThread declares a thread that must be started with Fork.
+func (b *Builder) ForkedThread(entry *MethodBuilder) ThreadID {
+	id := ThreadID(len(b.threads))
+	b.threads = append(b.threads, ThreadDecl{ID: id, Entry: entry.m.ID, AutoStart: false})
+	return id
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	p := &Program{
+		Name:       b.name,
+		Methods:    b.methods,
+		Threads:    b.threads,
+		NumObjects: b.objects,
+		ArrayLens:  b.arrays,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for static programs that cannot fail; it panics on
+// validation errors.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("vm: MustBuild: %v", err))
+	}
+	return p
+}
+
+// MethodBuilder appends operations to one method. All append methods return
+// the receiver for chaining.
+type MethodBuilder struct {
+	m *Method
+}
+
+// ID returns the method's identifier.
+func (mb *MethodBuilder) ID() MethodID { return mb.m.ID }
+
+// Name returns the method's name.
+func (mb *MethodBuilder) Name() string { return mb.m.Name }
+
+func (mb *MethodBuilder) add(op Op) *MethodBuilder {
+	mb.m.Body = append(mb.m.Body, op)
+	return mb
+}
+
+// Read appends a field read.
+func (mb *MethodBuilder) Read(obj ObjectID, f FieldID) *MethodBuilder {
+	return mb.add(Op{Kind: OpRead, Obj: obj, Field: f})
+}
+
+// Write appends a field write.
+func (mb *MethodBuilder) Write(obj ObjectID, f FieldID) *MethodBuilder {
+	return mb.add(Op{Kind: OpWrite, Obj: obj, Field: f})
+}
+
+// ArrayRead appends an array element read.
+func (mb *MethodBuilder) ArrayRead(arr ObjectID, idx int) *MethodBuilder {
+	return mb.add(Op{Kind: OpArrayRead, Obj: arr, Field: FieldID(idx)})
+}
+
+// ArrayWrite appends an array element write.
+func (mb *MethodBuilder) ArrayWrite(arr ObjectID, idx int) *MethodBuilder {
+	return mb.add(Op{Kind: OpArrayWrite, Obj: arr, Field: FieldID(idx)})
+}
+
+// Acquire appends a monitor acquire.
+func (mb *MethodBuilder) Acquire(obj ObjectID) *MethodBuilder {
+	return mb.add(Op{Kind: OpAcquire, Obj: obj})
+}
+
+// Release appends a monitor release.
+func (mb *MethodBuilder) Release(obj ObjectID) *MethodBuilder {
+	return mb.add(Op{Kind: OpRelease, Obj: obj})
+}
+
+// Call appends a method call.
+func (mb *MethodBuilder) Call(callee *MethodBuilder) *MethodBuilder {
+	return mb.add(Op{Kind: OpCall, Target: int32(callee.m.ID)})
+}
+
+// CallN appends n calls to callee.
+func (mb *MethodBuilder) CallN(callee *MethodBuilder, n int) *MethodBuilder {
+	for i := 0; i < n; i++ {
+		mb.Call(callee)
+	}
+	return mb
+}
+
+// Fork appends a fork of thread t.
+func (mb *MethodBuilder) Fork(t ThreadID) *MethodBuilder {
+	return mb.add(Op{Kind: OpFork, Target: int32(t)})
+}
+
+// Join appends a join on thread t.
+func (mb *MethodBuilder) Join(t ThreadID) *MethodBuilder {
+	return mb.add(Op{Kind: OpJoin, Target: int32(t)})
+}
+
+// Wait appends a monitor wait.
+func (mb *MethodBuilder) Wait(obj ObjectID) *MethodBuilder {
+	return mb.add(Op{Kind: OpWait, Obj: obj})
+}
+
+// Notify appends a monitor notify.
+func (mb *MethodBuilder) Notify(obj ObjectID) *MethodBuilder {
+	return mb.add(Op{Kind: OpNotify, Obj: obj})
+}
+
+// NotifyAll appends a monitor notify-all.
+func (mb *MethodBuilder) NotifyAll(obj ObjectID) *MethodBuilder {
+	return mb.add(Op{Kind: OpNotifyAll, Obj: obj})
+}
+
+// Compute appends n units of pure local work.
+func (mb *MethodBuilder) Compute(n int) *MethodBuilder {
+	return mb.add(Op{Kind: OpCompute, Target: int32(n)})
+}
+
+// Op appends a raw operation (used by the lowerer).
+func (mb *MethodBuilder) Op(op Op) *MethodBuilder { return mb.add(op) }

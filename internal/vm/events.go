@@ -1,0 +1,154 @@
+package vm
+
+import "fmt"
+
+// AccessClass distinguishes the three access populations the paper treats
+// differently: ordinary field accesses, array element accesses (evaluated
+// separately in §5.4), and synchronization accesses (lock acquire/release,
+// wait/notify, fork/join — treated as reads and writes on the synchronized
+// object, §3.2.2 "Handling synchronization operations").
+type AccessClass uint8
+
+const (
+	// ClassField is an ordinary object-field access.
+	ClassField AccessClass = iota
+	// ClassArray is an array element access.
+	ClassArray
+	// ClassSync is a synchronization operation surfaced as an access.
+	ClassSync
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case ClassField:
+		return "field"
+	case ClassArray:
+		return "array"
+	case ClassSync:
+		return "sync"
+	}
+	return fmt.Sprintf("AccessClass(%d)", uint8(c))
+}
+
+// Access describes one dynamic shared-memory access as a checker barrier
+// sees it.
+type Access struct {
+	Thread ThreadID
+	Obj    ObjectID
+	Field  FieldID
+	Write  bool // release-like synchronization surfaces as a write
+	Class  AccessClass
+	Seq    uint64 // global step clock at the access; strictly increasing
+}
+
+func (a Access) String() string {
+	rw := "rd"
+	if a.Write {
+		rw = "wr"
+	}
+	return fmt.Sprintf("t%d %s o%d.%d (%s, seq %d)", a.Thread, rw, a.Obj, a.Field, a.Class, a.Seq)
+}
+
+// Instrumentation receives the execution's event stream. It is the Go
+// analogue of the barrier and transaction-demarcation instrumentation the
+// paper's compilers insert. Methods are invoked synchronously from the
+// executor's single-threaded step loop, so implementations need no locking.
+type Instrumentation interface {
+	// ProgramStart is invoked once before the first step, with the executor
+	// (for clock/blocked queries).
+	ProgramStart(e *Exec)
+	// ThreadStart is invoked when a thread becomes runnable for the first
+	// time, before any of its operations.
+	ThreadStart(t ThreadID)
+	// ThreadExit is invoked after a thread's last operation.
+	ThreadExit(t ThreadID)
+	// TxBegin is invoked when thread t enters atomic method m from a
+	// non-transactional context, beginning a regular transaction. Nested
+	// atomic calls are flattened and do not produce events.
+	TxBegin(t ThreadID, m MethodID)
+	// TxEnd is invoked when the outermost atomic method of the current
+	// regular transaction returns.
+	TxEnd(t ThreadID, m MethodID)
+	// Access is invoked before each shared-memory access (data, array, or
+	// desugared synchronization).
+	Access(a Access)
+	// ProgramEnd is invoked once after the last step.
+	ProgramEnd()
+}
+
+// NopInst implements Instrumentation with no-ops. Embed it to implement a
+// subset of the interface.
+type NopInst struct{}
+
+// ProgramStart implements Instrumentation.
+func (NopInst) ProgramStart(*Exec) {}
+
+// ThreadStart implements Instrumentation.
+func (NopInst) ThreadStart(ThreadID) {}
+
+// ThreadExit implements Instrumentation.
+func (NopInst) ThreadExit(ThreadID) {}
+
+// TxBegin implements Instrumentation.
+func (NopInst) TxBegin(ThreadID, MethodID) {}
+
+// TxEnd implements Instrumentation.
+func (NopInst) TxEnd(ThreadID, MethodID) {}
+
+// Access implements Instrumentation.
+func (NopInst) Access(Access) {}
+
+// ProgramEnd implements Instrumentation.
+func (NopInst) ProgramEnd() {}
+
+// MultiInst fans one event stream out to several instrumentations in order.
+type MultiInst []Instrumentation
+
+// ProgramStart implements Instrumentation.
+func (m MultiInst) ProgramStart(e *Exec) {
+	for _, i := range m {
+		i.ProgramStart(e)
+	}
+}
+
+// ThreadStart implements Instrumentation.
+func (m MultiInst) ThreadStart(t ThreadID) {
+	for _, i := range m {
+		i.ThreadStart(t)
+	}
+}
+
+// ThreadExit implements Instrumentation.
+func (m MultiInst) ThreadExit(t ThreadID) {
+	for _, i := range m {
+		i.ThreadExit(t)
+	}
+}
+
+// TxBegin implements Instrumentation.
+func (m MultiInst) TxBegin(t ThreadID, meth MethodID) {
+	for _, i := range m {
+		i.TxBegin(t, meth)
+	}
+}
+
+// TxEnd implements Instrumentation.
+func (m MultiInst) TxEnd(t ThreadID, meth MethodID) {
+	for _, i := range m {
+		i.TxEnd(t, meth)
+	}
+}
+
+// Access implements Instrumentation.
+func (m MultiInst) Access(a Access) {
+	for _, i := range m {
+		i.Access(a)
+	}
+}
+
+// ProgramEnd implements Instrumentation.
+func (m MultiInst) ProgramEnd() {
+	for _, i := range m {
+		i.ProgramEnd()
+	}
+}

@@ -1,0 +1,125 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scheduler picks which runnable thread executes the next operation. The
+// runnable slice is always sorted by thread ID and non-empty; schedulers
+// must return one of its elements. Determinism contract: given the same
+// program and the same scheduler state, the executor produces the same
+// interleaving — checkers are passive, so the same seed exposes every
+// checker to the identical execution.
+type Scheduler interface {
+	Next(runnable []ThreadID, step uint64) ThreadID
+}
+
+// RandomScheduler picks uniformly at random from the runnable set using a
+// seeded source. This models the paper's run-to-run nondeterminism: distinct
+// trials use distinct seeds.
+type RandomScheduler struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a RandomScheduler with the given seed.
+func NewRandom(seed int64) *RandomScheduler {
+	return &RandomScheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *RandomScheduler) Next(runnable []ThreadID, _ uint64) ThreadID {
+	return runnable[s.rng.Intn(len(runnable))]
+}
+
+// StickyRandomScheduler is like RandomScheduler but keeps running the same
+// thread for a geometric number of steps (expected run length 1/switchProb)
+// before re-picking. Longer runs between preemptions make interleavings more
+// realistic (real schedulers preempt at quantum boundaries, not per
+// instruction) and make atomicity violations rarer but still possible —
+// useful for workloads that should have few cycles.
+type StickyRandomScheduler struct {
+	rng        *rand.Rand
+	switchProb float64
+	current    ThreadID
+	hasCurrent bool
+}
+
+// NewSticky returns a StickyRandomScheduler. switchProb in (0,1] is the
+// per-step probability of re-picking the running thread.
+func NewSticky(seed int64, switchProb float64) *StickyRandomScheduler {
+	if switchProb <= 0 || switchProb > 1 {
+		panic(fmt.Sprintf("vm: switchProb %v out of (0,1]", switchProb))
+	}
+	return &StickyRandomScheduler{rng: rand.New(rand.NewSource(seed)), switchProb: switchProb}
+}
+
+// Next implements Scheduler.
+func (s *StickyRandomScheduler) Next(runnable []ThreadID, _ uint64) ThreadID {
+	if s.hasCurrent && s.rng.Float64() >= s.switchProb {
+		for _, t := range runnable {
+			if t == s.current {
+				return t
+			}
+		}
+	}
+	s.current = runnable[s.rng.Intn(len(runnable))]
+	s.hasCurrent = true
+	return s.current
+}
+
+// RoundRobinScheduler rotates through runnable threads.
+type RoundRobinScheduler struct {
+	last ThreadID
+}
+
+// NewRoundRobin returns a RoundRobinScheduler.
+func NewRoundRobin() *RoundRobinScheduler { return &RoundRobinScheduler{last: -1} }
+
+// Next implements Scheduler: the smallest runnable ID strictly greater than
+// the previously scheduled ID, wrapping around.
+func (s *RoundRobinScheduler) Next(runnable []ThreadID, _ uint64) ThreadID {
+	for _, t := range runnable {
+		if t > s.last {
+			s.last = t
+			return t
+		}
+	}
+	s.last = runnable[0]
+	return runnable[0]
+}
+
+// ScriptedScheduler replays an explicit thread sequence; unit tests use it
+// to pin exact interleavings (e.g. the paper's Figure 3). If the scripted
+// thread is not runnable at its step, Next panics in strict mode (test bug)
+// or skips forward otherwise. When the script is exhausted it falls back to
+// round-robin.
+type ScriptedScheduler struct {
+	script []ThreadID
+	pos    int
+	strict bool
+	rr     *RoundRobinScheduler
+}
+
+// NewScripted returns a ScriptedScheduler replaying script.
+func NewScripted(script []ThreadID, strict bool) *ScriptedScheduler {
+	return &ScriptedScheduler{script: script, strict: strict, rr: NewRoundRobin()}
+}
+
+// Next implements Scheduler.
+func (s *ScriptedScheduler) Next(runnable []ThreadID, step uint64) ThreadID {
+	for s.pos < len(s.script) {
+		want := s.script[s.pos]
+		s.pos++
+		for _, t := range runnable {
+			if t == want {
+				return t
+			}
+		}
+		if s.strict {
+			panic(fmt.Sprintf("vm: scripted thread t%d not runnable at step %d (runnable %v)",
+				want, step, runnable))
+		}
+	}
+	return s.rr.Next(runnable, step)
+}

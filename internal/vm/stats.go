@@ -1,0 +1,32 @@
+package vm
+
+import "fmt"
+
+// Stats counts what an execution did. Checker-specific counters (IDG edges,
+// SCCs, instrumented accesses) live in the checkers; these are the ground
+// truth totals of the execution itself.
+type Stats struct {
+	Steps         uint64 // scheduler steps (operations attempted)
+	Ops           uint64 // operations executed or retried
+	FieldAccesses uint64 // data field accesses
+	ArrayAccesses uint64 // array element accesses
+	SyncAccesses  uint64 // synchronization operations surfaced as accesses
+	RegularTx     uint64 // regular (non-unary) transactions begun
+	Calls         uint64
+	Forks         uint64
+	Waits         uint64
+	Notifies      uint64
+	BlockEvents   uint64 // times a thread blocked on a lock or join
+	ComputeUnits  uint64
+}
+
+// TotalAccesses returns all accesses surfaced to instrumentation.
+func (s *Stats) TotalAccesses() uint64 {
+	return s.FieldAccesses + s.ArrayAccesses + s.SyncAccesses
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("steps=%d accesses=%d (field=%d array=%d sync=%d) tx=%d forks=%d",
+		s.Steps, s.TotalAccesses(), s.FieldAccesses, s.ArrayAccesses, s.SyncAccesses,
+		s.RegularTx, s.Forks)
+}

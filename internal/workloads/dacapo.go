@@ -1,0 +1,424 @@
+package workloads
+
+import (
+	"fmt"
+
+	"doublechecker/internal/vm"
+)
+
+func init() {
+	register("eclipse6", "plugin build system: task queue, many worker-side caches, many racy cache updates", buildEclipse6)
+	register("hsqldb6", "embedded database: row-locked transactions plus racy statistics counters", buildHsqldb6)
+	register("lusearch6", "text search: thread-local index probes, one rarely-shared dictionary", buildLusearch6)
+	register("xalan6", "XSLT transform: hot output-buffer lock ping-pong (the pathological case)", buildXalan6)
+	register("avrora9", "AVR simulator: very many tiny atomic device handlers plus bulk non-transactional polling", buildAvrora9)
+	register("jython9", "Python interpreter: a handful of giant single-threaded atomic regions", buildJython9)
+	register("luindex9", "text indexing: few giant transactions, nearly no sharing", buildLuindex9)
+	register("lusearch9", "text search (9.12): more transactions, a few shared-cache races", buildLusearch9)
+	register("pmd9", "source analyzer: tiny, effectively single-threaded", buildPmd9)
+	register("sunflow9", "renderer: read-shared scene, per-thread framebuffers, racy bounds update", buildSunflow9)
+	register("xalan9", "XSLT transform (9.12): moderate lock contention, several races", buildXalan9)
+}
+
+// buildEclipse6: a driver forks N workers that pop tasks from a shared
+// queue and run them against per-worker plugin state; a family of shared
+// caches is updated by racy read-modify-write methods. Largest violation
+// count in Table 2.
+func buildEclipse6(scale float64) *Built {
+	g := newGen("eclipse6", 601, scale)
+	const workers = 4
+	queue := g.b.Object()
+	queueLock := g.b.Object()
+	caches := g.b.Objects(6)
+	plugins := g.b.Objects(workers)
+
+	pop := g.b.Method("popTask")
+	pop.Acquire(queueLock).Read(queue, 0).Write(queue, 0).Release(queueLock)
+
+	// Racy cache updates: read-modify-write on a shared cache field with a
+	// window, no lock. Six of them drive eclipse6's high violation count.
+	var racy []string
+	var racyMs []*vm.MethodBuilder
+	for i, cache := range caches {
+		m := g.b.Method(fmt.Sprintf("cacheUpdate%d", i))
+		m.Read(cache, 0).Compute(14).Write(cache, 0)
+		racy = append(racy, m.Name())
+		racyMs = append(racyMs, m)
+	}
+
+	// Safe plugin processing: thread-local burst plus a scratch buffer.
+	var procs []*vm.MethodBuilder
+	for w := 0; w < workers; w++ {
+		buf := g.b.Array(16)
+		m := g.b.Method(fmt.Sprintf("process%d", w))
+		g.localBurst(m, plugins[w], 8, 8)
+		for k := 0; k < 8; k++ {
+			m.ArrayWrite(buf, k).ArrayRead(buf, k)
+		}
+		m.Compute(6)
+		procs = append(procs, m)
+	}
+
+	var workerThreads []vm.ThreadID
+	tasks := g.n(60)
+	for w := 0; w < workers; w++ {
+		run := g.b.Method(fmt.Sprintf("worker%d", w))
+		for t := 0; t < tasks; t++ {
+			run.Call(pop).Call(procs[w])
+			if t%3 == 0 {
+				// All workers cycle through the caches in the same phase,
+				// so every cache sees concurrent updates.
+				run.Call(racyMs[(t/3)%len(racyMs)])
+			}
+			// Occasional non-transactional bookkeeping access.
+			run.Read(plugins[w], 9)
+		}
+		workerThreads = append(workerThreads, g.b.ForkedThread(run))
+	}
+	driver := g.b.Method("driver")
+	for _, t := range workerThreads {
+		driver.Fork(t)
+	}
+	for _, t := range workerThreads {
+		driver.Join(t)
+	}
+	g.b.Thread(driver)
+	return g.built(nil, racy, true, 0.12)
+}
+
+// buildHsqldb6: row-locked database transactions plus a pair of racy
+// statistics counters.
+func buildHsqldb6(scale float64) *Built {
+	g := newGen("hsqldb6", 602, scale)
+	const clients = 3
+	const nRows = 8
+	rows := g.b.Objects(nRows)
+	rowLocks := g.b.Objects(nRows)
+	stats := g.b.Object()
+
+	var txMethods []*vm.MethodBuilder
+	for r := 0; r < nRows; r++ {
+		m := g.b.Method(fmt.Sprintf("updateRow%d", r))
+		m.Acquire(rowLocks[r])
+		m.Read(rows[r], 0).Write(rows[r], 0).Read(rows[r], 1).Write(rows[r], 1)
+		m.Release(rowLocks[r])
+		txMethods = append(txMethods, m)
+	}
+	racyHit := g.b.Method("bumpHitCount")
+	racyHit.Read(stats, 0).Compute(12).Write(stats, 0).Read(stats, 2).Compute(5).Write(stats, 2)
+	racyMiss := g.b.Method("bumpMissCount")
+	racyMiss.Read(stats, 1).Compute(12).Write(stats, 1).Read(stats, 3).Compute(5).Write(stats, 3)
+
+	ops := g.n(90)
+	for c := 0; c < clients; c++ {
+		scratch := g.b.Object()
+		page := g.b.Array(16)
+		process := g.b.Method(fmt.Sprintf("processQuery%d", c))
+		g.localBurst(process, scratch, 8, 6)
+		for k := 0; k < 10; k++ {
+			process.ArrayRead(page, k).ArrayWrite(page, k)
+		}
+		process.Compute(4)
+		main := g.b.Method(fmt.Sprintf("client%d", c))
+		for i := 0; i < ops; i++ {
+			main.Call(process)
+			main.Call(txMethods[g.rng.Intn(nRows)])
+			if i%4 == c%4 {
+				main.Call(racyHit)
+			}
+			if i%7 == 0 {
+				main.Call(racyMiss)
+			}
+			main.Compute(4)
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, []string{"bumpHitCount", "bumpMissCount"}, true, 0.1)
+}
+
+// searchLike builds the lusearch/luindex family: per-thread index work with
+// a read-mostly shared dictionary.
+func searchLike(g *gen, threads, queries, burst int, racyEvery int) (racy []string) {
+	dict := g.b.Object()
+	seed := g.b.Method("seedDict")
+	seed.Write(dict, 0).Write(dict, 1)
+
+	var update *vm.MethodBuilder
+	if racyEvery > 0 {
+		update = g.b.Method("updateDictStats")
+		update.Read(dict, 2).Compute(14).Write(dict, 2).Read(dict, 3).Compute(6).Write(dict, 3)
+		racy = append(racy, update.Name())
+	}
+	for t := 0; t < threads; t++ {
+		local := g.b.Object()
+		docs := g.b.Array(16)
+		search := g.b.Method(fmt.Sprintf("search%d", t))
+		g.localBurst(search, local, 5, burst)
+		search.Read(dict, 0).Read(dict, 1) // read-shared probes
+		for k := 0; k < 4; k++ {
+			search.ArrayRead(docs, (t+k)%16).ArrayWrite(docs, (t+k+1)%16)
+		}
+		search.Compute(8)
+		main := g.b.Method(fmt.Sprintf("main%d", t))
+		if t == 0 {
+			main.Call(seed)
+		}
+		for q := 0; q < queries; q++ {
+			main.Call(search)
+			if racyEvery > 0 && q%racyEvery == 0 {
+				main.Call(update)
+			}
+			main.Write(local, 11) // non-transactional scratch
+		}
+		g.b.Thread(main)
+	}
+	return racy
+}
+
+func buildLusearch6(scale float64) *Built {
+	g := newGen("lusearch6", 603, scale)
+	// Rare racy window: Table 2 reports a single violation here.
+	racy := searchLike(g, 4, g.n(70), 5, 24)
+	return g.built(nil, racy, true, 0.08)
+}
+
+func buildLusearch9(scale float64) *Built {
+	g := newGen("lusearch9", 608, scale)
+	racy := searchLike(g, 4, g.n(90), 4, 8)
+	return g.built(nil, racy, true, 0.1)
+}
+
+func buildLuindex9(scale float64) *Built {
+	g := newGen("luindex9", 607, scale)
+	// Nearly single-threaded: one indexer with giant transactions, one
+	// idle-ish helper. Zero violations.
+	local := g.b.Object()
+	docs := g.b.Array(32)
+	indexBatch := g.b.Method("indexBatch")
+	g.localBurst(indexBatch, local, 8, g.n(120))
+	for k := 0; k < 16; k++ {
+		indexBatch.ArrayWrite(docs, k).ArrayRead(docs, k)
+	}
+	main := g.b.Method("indexer")
+	for i := 0; i < 6; i++ {
+		main.Call(indexBatch)
+		main.Compute(20)
+	}
+	helperLocal := g.b.Object()
+	helper := g.b.Method("helper")
+	helper.Read(helperLocal, 0).Compute(10)
+	g.b.Thread(main)
+	g.b.Thread(helper)
+	return g.built(nil, nil, true, 0.1)
+}
+
+// xalanLike builds the xalan family: worker threads hammering a shared
+// output buffer under one hot lock (release-acquire ping-pong -> many
+// imprecise IDG cycles) plus a set of racy helpers.
+func xalanLike(g *gen, threads, rounds, racyCount, racyEvery, burstReps, emitEvery int) (racy []string) {
+	out := g.b.Object()
+	outLock := g.b.Object()
+	templates := g.b.Object()
+
+	emit := g.b.Method("emit")
+	emit.Acquire(outLock).Read(out, 0).Write(out, 0).Write(out, 1).Release(outLock)
+
+	var racyMs []*vm.MethodBuilder
+	for i := 0; i < racyCount; i++ {
+		m := g.b.Method(fmt.Sprintf("transformCache%d", i))
+		m.Read(templates, vm.FieldID(i)).Compute(12).Write(templates, vm.FieldID(i))
+		racy = append(racy, m.Name())
+		racyMs = append(racyMs, m)
+	}
+	for t := 0; t < threads; t++ {
+		local := g.b.Object()
+		transform := g.b.Method(fmt.Sprintf("transform%d", t))
+		g.localBurst(transform, local, 6, burstReps)
+		transform.Read(templates, 10) // read-shared template table
+		main := g.b.Method(fmt.Sprintf("main%d", t))
+		for r := 0; r < rounds; r++ {
+			main.Call(transform)
+			if r%emitEvery == 0 {
+				main.Call(emit)
+			}
+			if racyCount > 0 && r%racyEvery == 0 {
+				main.Call(racyMs[(r/racyEvery)%racyCount])
+			}
+			main.Read(local, 9) // non-transactional
+		}
+		g.b.Thread(main)
+	}
+	return racy
+}
+
+func buildXalan6(scale float64) *Built {
+	g := newGen("xalan6", 604, scale)
+	racy := xalanLike(g, 4, g.n(110), 4, 5, 4, 1)
+	return g.built(nil, racy, true, 0.25) // frequent preemption: heavy ping-pong
+}
+
+func buildXalan9(scale float64) *Built {
+	g := newGen("xalan9", 609, scale)
+	racy := xalanLike(g, 4, g.n(80), 4, 4, 12, 3)
+	return g.built(nil, racy, true, 0.1)
+}
+
+// buildAvrora9: very many tiny atomic device handlers over shared device
+// registers, plus heavy non-transactional polling loops.
+func buildAvrora9(scale float64) *Built {
+	g := newGen("avrora9", 605, scale)
+	const nodes = 3
+	devices := g.b.Objects(nodes)
+	radio := g.b.Object()
+	radioLock := g.b.Object()
+
+	send := g.b.Method("radioSend")
+	send.Acquire(radioLock).Write(radio, 0).Release(radioLock)
+	recv := g.b.Method("radioRecv")
+	recv.Acquire(radioLock).Read(radio, 0).Release(radioLock)
+
+	racyClock := g.b.Method("syncClock")
+	racyClock.Read(radio, 1).Compute(2).Write(radio, 1)
+	racyIRQ := g.b.Method("postInterrupt")
+	racyIRQ.Read(radio, 2).Compute(2).Write(radio, 2)
+
+	var handlers [][]*vm.MethodBuilder
+	for n := 0; n < nodes; n++ {
+		var hs []*vm.MethodBuilder
+		mem := g.b.Array(8)
+		for h := 0; h < 3; h++ {
+			m := g.b.Method(fmt.Sprintf("handler%d_%d", n, h))
+			m.Read(devices[n], vm.FieldID(h)).Write(devices[n], vm.FieldID(h))
+			m.ArrayRead(mem, h).ArrayWrite(mem, h)
+			hs = append(hs, m)
+		}
+		handlers = append(handlers, hs)
+	}
+	cycles := g.n(220)
+	for n := 0; n < nodes; n++ {
+		main := g.b.Method(fmt.Sprintf("node%d", n))
+		for c := 0; c < cycles; c++ {
+			main.Call(handlers[n][c%3]) // tiny atomic transaction
+			// Non-transactional polling burst: the bulk of avrora's
+			// accesses happen outside transactions (Table 3).
+			for p := 0; p < 3; p++ {
+				main.Read(devices[n], 8).Read(devices[n], 9).Write(devices[n], 8)
+			}
+			if c%11 == n {
+				main.Call(send)
+			}
+			if c%13 == n {
+				main.Call(recv)
+			}
+			if c%29 == n {
+				main.Call(racyClock)
+			}
+			if c%37 == n {
+				main.Call(racyIRQ)
+			}
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, []string{"syncClock", "postInterrupt"}, true, 0.15)
+}
+
+// buildJython9: effectively single-threaded; a few giant atomic regions.
+func buildJython9(scale float64) *Built {
+	g := newGen("jython9", 606, scale)
+	frames := g.b.Object()
+	stack := g.b.Array(32)
+	interp := g.b.Method("interpretModule")
+	g.localBurst(interp, frames, 10, g.n(160))
+	for k := 0; k < 32; k++ {
+		interp.ArrayWrite(stack, k).ArrayRead(stack, k)
+	}
+	interp.Compute(40)
+	main := g.b.Method("pyMain")
+	for i := 0; i < 4; i++ {
+		main.Call(interp)
+	}
+	idleLocal := g.b.Object()
+	idle := g.b.Method("finalizerIdle")
+	idle.Read(idleLocal, 0).Compute(8)
+	g.b.Thread(main)
+	g.b.Thread(idle)
+	return g.built(nil, nil, true, 0.1)
+}
+
+// buildPmd9: tiny and effectively single-threaded.
+func buildPmd9(scale float64) *Built {
+	g := newGen("pmd9", 6060, scale)
+	ast := g.b.Object()
+	analyze := g.b.Method("analyzeFile")
+	g.localBurst(analyze, ast, 6, g.n(40))
+	main := g.b.Method("pmdMain")
+	for i := 0; i < 4; i++ {
+		main.Call(analyze)
+		main.Compute(12)
+	}
+	other := g.b.Object()
+	watcher := g.b.Method("watcher")
+	watcher.Read(other, 0).Compute(6)
+	g.b.Thread(main)
+	g.b.Thread(watcher)
+	return g.built(nil, nil, true, 0.1)
+}
+
+// buildSunflow9: renderer — shared scene read by everyone (RdSh), per
+// thread framebuffer strips, a racy bounds update.
+func buildSunflow9(scale float64) *Built {
+	g := newGen("sunflow9", 6090, scale)
+	const threads = 4
+	scene := g.b.Object()
+	bounds := g.b.Object()
+	statsLock := g.b.Object()
+	statsObj := g.b.Object()
+
+	prep := g.b.Method("prepareScene")
+	for f := 0; f < 8; f++ {
+		prep.Write(scene, vm.FieldID(f))
+	}
+	racyBounds := g.b.Method("updateBounds")
+	racyBounds.Read(bounds, 0).Compute(3).Write(bounds, 0)
+	putStats := g.b.Method("accumulateStats")
+	putStats.Acquire(statsLock).Read(statsObj, 0).Write(statsObj, 0).Release(statsLock)
+
+	rows := g.n(50)
+	var rendered []vm.ThreadID
+	for t := 0; t < threads; t++ {
+		strip := g.b.Object()
+		fb := g.b.Array(16)
+		renderRow := g.b.Method(fmt.Sprintf("renderRow%d", t))
+		for f := 0; f < 6; f++ {
+			renderRow.Read(scene, vm.FieldID(f)) // read-shared scene
+		}
+		g.localBurst(renderRow, strip, 6, 3)
+		for k := 0; k < 8; k++ {
+			renderRow.ArrayWrite(fb, (t+k)%16)
+		}
+		renderRow.Compute(10)
+		worker := g.b.Method(fmt.Sprintf("renderWorker%d", t))
+		for r := 0; r < rows; r++ {
+			worker.Call(renderRow)
+			if r%6 == t {
+				worker.Call(racyBounds)
+			}
+			if r%9 == 0 {
+				worker.Call(putStats)
+			}
+		}
+		rendered = append(rendered, g.b.ForkedThread(worker))
+	}
+	driver := g.b.Method("sunflowMain")
+	driver.Call(prep)
+	for _, t := range rendered {
+		driver.Fork(t)
+	}
+	for _, t := range rendered {
+		driver.Join(t)
+	}
+	g.b.Thread(driver)
+	// The paper excludes sunflow9's two long-running atomic methods after
+	// PCD memory exhaustion (§5.1); prepareScene is our analogue.
+	return g.built([]string{"prepareScene"}, []string{"updateBounds"}, true, 0.1)
+}

@@ -1,0 +1,321 @@
+package workloads
+
+import (
+	"fmt"
+
+	"doublechecker/internal/vm"
+)
+
+func init() {
+	register("elevator", "discrete-event elevator: wait/notify between controller and lifts", buildElevator)
+	register("hedc", "metadata crawler: a few small tasks, one racy result merge", buildHedc)
+	register("philo", "dining philosophers with ordered fork acquisition", buildPhilo)
+	register("sor", "successive over-relaxation: barrier-phased grid sweeps, nearly all non-transactional", buildSor)
+	register("tsp", "branch-and-bound TSP: huge local search, racy shared bound", buildTsp)
+	register("moldyn", "Java Grande molecular dynamics: local force loops, locked reductions", buildMoldyn)
+	register("montecarlo", "Java Grande Monte Carlo: local simulation, contended result vector", buildMontecarlo)
+	register("raytracer", "Java Grande ray tracer: read-shared scene, locked checksum", buildRaytracer)
+}
+
+// buildElevator: lifts wait on a controller monitor; the controller
+// notifies work and updates a racy floor indicator. Not compute bound.
+func buildElevator(scale float64) *Built {
+	g := newGen("elevator", 701, scale)
+	const lifts = 2
+	mon := g.b.Object()
+	floors := g.b.Object()
+	calls := g.b.Object()
+
+	racyIndicator := g.b.Method("updateIndicator")
+	racyIndicator.Read(floors, 0).Compute(2).Write(floors, 0)
+
+	serve := g.b.Method("serveFloor")
+	serve.Acquire(mon).Read(calls, 0).Write(calls, 0).Release(mon)
+
+	rounds := g.n(25)
+	var liftThreads []vm.ThreadID
+	for l := 0; l < lifts; l++ {
+		lift := g.b.Method(fmt.Sprintf("lift%d", l))
+		for r := 0; r < rounds; r++ {
+			lift.Acquire(mon).Wait(mon).Release(mon)
+			lift.Call(serve)
+			lift.Call(racyIndicator)
+		}
+		liftThreads = append(liftThreads, g.b.ForkedThread(lift))
+	}
+	controller := g.b.Method("controller")
+	for _, t := range liftThreads {
+		controller.Fork(t)
+	}
+	for r := 0; r < rounds*lifts; r++ {
+		controller.Write(calls, 1) // button press (non-transactional)
+		controller.Acquire(mon).Notify(mon).Release(mon)
+		controller.Compute(3)
+	}
+	for _, t := range liftThreads {
+		controller.Join(t)
+	}
+	g.b.Thread(controller)
+	return g.built(nil, []string{"updateIndicator"}, false, 0.2)
+}
+
+// buildHedc: two small crawler tasks merging into a shared result, one
+// merge racy. Not compute bound.
+func buildHedc(scale float64) *Built {
+	g := newGen("hedc", 702, scale)
+	results := g.b.Object()
+	resLock := g.b.Object()
+
+	merge := g.b.Method("mergeResult")
+	merge.Acquire(resLock).Read(results, 0).Write(results, 0).Release(resLock)
+	racyMeta := g.b.Method("recordMeta")
+	racyMeta.Read(results, 1).Compute(16).Write(results, 1).Read(results, 2).Compute(8).Write(results, 2)
+
+	tasks := g.n(18)
+	for t := 0; t < 2; t++ {
+		local := g.b.Object()
+		fetch := g.b.Method(fmt.Sprintf("fetch%d", t))
+		g.localBurst(fetch, local, 4, 2)
+		main := g.b.Method(fmt.Sprintf("crawler%d", t))
+		for i := 0; i < tasks; i++ {
+			main.Call(fetch)
+			main.Call(merge)
+			if i%3 == t {
+				main.Call(racyMeta)
+			}
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, []string{"recordMeta"}, false, 0.2)
+}
+
+// buildPhilo: five dining philosophers with ordered fork acquisition (no
+// deadlock, no violation). Not compute bound.
+func buildPhilo(scale float64) *Built {
+	g := newGen("philo", 703, scale)
+	const n = 5
+	forks := g.b.Objects(n)
+	table := g.b.Object()
+
+	meals := g.n(10)
+	for p := 0; p < n; p++ {
+		lo, hi := p, (p+1)%n
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		eat := g.b.Method(fmt.Sprintf("eat%d", p))
+		eat.Acquire(forks[lo]).Acquire(forks[hi])
+		eat.Read(table, vm.FieldID(p)).Write(table, vm.FieldID(p))
+		eat.Release(forks[hi]).Release(forks[lo])
+		main := g.b.Method(fmt.Sprintf("philosopher%d", p))
+		for m := 0; m < meals; m++ {
+			main.Call(eat)
+			main.Compute(5) // think
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, nil, false, 0.3)
+}
+
+// buildSor: red-black grid sweeps; nearly everything is non-transactional
+// grid access; phases separated by a lock-protected phase counter. Arrays
+// carry part of the grid for the §5.4 array experiment.
+func buildSor(scale float64) *Built {
+	g := newGen("sor", 704, scale)
+	const threads = 2
+	rows := g.b.Objects(8)
+	edgeRow := g.b.Object() // shared boundary row
+	phaseLock := g.b.Object()
+	phase := g.b.Object()
+	grid := g.b.Array(32)
+
+	advance := g.b.Method("advancePhase")
+	advance.Acquire(phaseLock).Read(phase, 0).Write(phase, 0).Release(phaseLock)
+
+	iters := g.n(12)
+	for t := 0; t < threads; t++ {
+		mine := rows[t*4 : t*4+4]
+		main := g.b.Method(fmt.Sprintf("sweep%d", t))
+		for it := 0; it < iters; it++ {
+			for _, row := range mine {
+				for c := 0; c < 10; c++ {
+					main.Read(row, vm.FieldID(c))
+					main.Write(row, vm.FieldID(c))
+				}
+			}
+			main.Read(edgeRow, vm.FieldID(t)) // neighbour exchange
+			for k := 0; k < 8; k++ {
+				main.ArrayRead(grid, (t*7+it+k)%32)
+				main.ArrayWrite(grid, (t*11+it+k)%32)
+			}
+			main.Call(advance)
+			main.Compute(8)
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, nil, true, 0.1)
+}
+
+// buildTsp: branch and bound. Workers run long non-transactional local
+// searches and occasionally consult/update a shared best bound; the update
+// is the classic racy check-then-act.
+func buildTsp(scale float64) *Built {
+	g := newGen("tsp", 705, scale)
+	const workers = 3
+	bound := g.b.Object()
+	queueLock := g.b.Object()
+	queue := g.b.Object()
+
+	getWork := g.b.Method("getWork")
+	getWork.Acquire(queueLock).Read(queue, 0).Write(queue, 0).Release(queueLock)
+	racyBound := g.b.Method("updateBound")
+	racyBound.Read(bound, 0).Compute(60).Write(bound, 0).Read(bound, 2).Compute(10).Write(bound, 2)
+	racyPrune := g.b.Method("recordPrune")
+	racyPrune.Read(bound, 1).Compute(12).Write(bound, 1)
+
+	tours := g.n(14)
+	for w := 0; w < workers; w++ {
+		cities := g.b.Object()
+		path := g.b.Array(16)
+		main := g.b.Method(fmt.Sprintf("tspWorker%d", w))
+		for t := 0; t < tours; t++ {
+			main.Call(getWork)
+			for k := 0; k < 12; k++ {
+				main.ArrayRead(path, (t+k)%16).ArrayWrite(path, (t+k)%16)
+			}
+			// Huge non-transactional local search (Table 3: tsp executes
+			// 694M non-transactional accesses against 386K transactional).
+			g.localBurst(main, cities, 8, g.n(40))
+			main.Read(bound, 0) // non-transactional bound probe
+			main.Compute(30)
+			main.Call(racyBound)
+			if t%5 == 0 {
+				main.Call(racyPrune)
+			}
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, []string{"updateBound", "recordPrune"}, true, 0.1)
+}
+
+// buildMoldyn: per-thread force loops with rare locked reductions; no
+// violations and almost no cross-thread edges.
+func buildMoldyn(scale float64) *Built {
+	g := newGen("moldyn", 706, scale)
+	const threads = 4
+	sumLock := g.b.Object()
+	sums := g.b.Object()
+	coords := g.b.Array(64)
+
+	reduce := g.b.Method("reduceEnergy")
+	reduce.Acquire(sumLock).Read(sums, 0).Write(sums, 0).Release(sumLock)
+
+	steps := g.n(10)
+	for t := 0; t < threads; t++ {
+		particles := g.b.Object()
+		force := g.b.Method(fmt.Sprintf("forceLoop%d", t))
+		g.localBurst(force, particles, 8, 10)
+		for k := 0; k < 8; k++ {
+			force.ArrayRead(coords, t*16+k)
+			force.ArrayWrite(coords, t*16+k+1)
+		}
+		force.Compute(20)
+		main := g.b.Method(fmt.Sprintf("mdWorker%d", t))
+		for s := 0; s < steps; s++ {
+			main.Call(force)
+			main.Call(reduce)
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, nil, true, 0.05)
+}
+
+// buildMontecarlo: local simulations appending to a contended result
+// vector; the append lock ping-pong yields many imprecise SCCs (Table 3:
+// 2,860) while only one rarely-hit racy method produces true violations.
+func buildMontecarlo(scale float64) *Built {
+	g := newGen("montecarlo", 707, scale)
+	const threads = 4
+	results := g.b.Object()
+	resLock := g.b.Object()
+	global := g.b.Object()
+
+	appendResult := g.b.Method("appendResult")
+	appendResult.Acquire(resLock).Read(results, 0).Write(results, 0).Compute(6).Read(results, 1).Write(results, 1).Release(resLock)
+	racySeed := g.b.Method("reseedGlobal")
+	racySeed.Read(global, 0).Compute(18).Write(global, 0)
+
+	runs := g.n(45)
+	for t := 0; t < threads; t++ {
+		path := g.b.Object()
+		samples := g.b.Array(16)
+		simulate := g.b.Method(fmt.Sprintf("simulate%d", t))
+		g.localBurst(simulate, path, 8, 12)
+		for k := 0; k < 12; k++ {
+			simulate.ArrayWrite(samples, (t+k)%16)
+		}
+		simulate.Compute(15)
+		main := g.b.Method(fmt.Sprintf("mcWorker%d", t))
+		for r := 0; r < runs; r++ {
+			main.Call(simulate)
+			main.Call(appendResult)
+			if r%7 == 0 {
+				main.Call(racySeed)
+			}
+		}
+		g.b.Thread(main)
+	}
+	return g.built(nil, []string{"reseedGlobal"}, true, 0.3)
+}
+
+// buildRaytracer: the access-heaviest benchmark — large read-shared scene
+// probed constantly, per-thread row rendering, a locked checksum; one
+// long-running render method is excluded from the specification as the
+// paper does after PCD memory exhaustion (§5.1).
+func buildRaytracer(scale float64) *Built {
+	g := newGen("raytracer", 708, scale)
+	const threads = 4
+	scene := g.b.Object()
+	checksumLock := g.b.Object()
+	checksum := g.b.Object()
+
+	prep := g.b.Method("buildScene")
+	for f := 0; f < 10; f++ {
+		prep.Write(scene, vm.FieldID(f))
+	}
+	addChecksum := g.b.Method("addChecksum")
+	addChecksum.Acquire(checksumLock).Read(checksum, 0).Write(checksum, 0).Release(checksumLock)
+
+	rows := g.n(35)
+	var workers []vm.ThreadID
+	for t := 0; t < threads; t++ {
+		strip := g.b.Object()
+		fb := g.b.Array(32)
+		renderScene := g.b.Method(fmt.Sprintf("renderScene%d", t))
+		for r := 0; r < rows; r++ {
+			for f := 0; f < 8; f++ {
+				renderScene.Read(scene, vm.FieldID(f))
+			}
+			g.localBurst(renderScene, strip, 4, 2)
+			renderScene.ArrayWrite(fb, r%32).ArrayWrite(fb, (r+1)%32)
+		}
+		main := g.b.Method(fmt.Sprintf("rtWorker%d", t))
+		main.Call(renderScene)
+		main.Call(addChecksum)
+		workers = append(workers, g.b.ForkedThread(main))
+	}
+	driver := g.b.Method("rtMain")
+	driver.Call(prep)
+	for _, w := range workers {
+		driver.Fork(w)
+	}
+	for _, w := range workers {
+		driver.Join(w)
+	}
+	g.b.Thread(driver)
+	exclusions := []string{"buildScene"}
+	for t := 0; t < threads; t++ {
+		exclusions = append(exclusions, fmt.Sprintf("renderScene%d", t))
+	}
+	return g.built(exclusions, nil, true, 0.05)
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"doublechecker/internal/vm"
+)
+
+// Random generates a random, deadlock-free multithreaded program for
+// property-based testing: threads run mixes of atomic and non-atomic method
+// calls plus raw unary accesses; methods read and write random fields of
+// shared objects, optionally under a single lock (locks never nest, so
+// deadlock is impossible). The returned predicate is the atomicity
+// specification.
+func Random(seed int64) (*vm.Program, func(vm.MethodID) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	b := vm.NewBuilder(fmt.Sprintf("rand%d", seed))
+	nObj := 2 + rng.Intn(4)
+	objs := b.Objects(nObj)
+	nLocks := rng.Intn(3)
+	locks := b.Objects(nLocks)
+
+	nMeth := 2 + rng.Intn(4)
+	atomicSet := make(map[vm.MethodID]bool)
+	var meths []*vm.MethodBuilder
+	for i := 0; i < nMeth; i++ {
+		mb := b.Method(fmt.Sprintf("m%d", i))
+		useLock := nLocks > 0 && rng.Intn(3) == 0
+		var lk vm.ObjectID
+		if useLock {
+			lk = locks[rng.Intn(nLocks)]
+			mb.Acquire(lk)
+		}
+		for j := 0; j < 2+rng.Intn(5); j++ {
+			obj := objs[rng.Intn(nObj)]
+			f := vm.FieldID(rng.Intn(2))
+			if rng.Intn(2) == 0 {
+				mb.Read(obj, f)
+			} else {
+				mb.Write(obj, f)
+			}
+		}
+		if useLock {
+			mb.Release(lk)
+		}
+		if rng.Intn(2) == 0 {
+			atomicSet[mb.ID()] = true
+		}
+		meths = append(meths, mb)
+	}
+
+	nThreads := 2 + rng.Intn(3)
+	for i := 0; i < nThreads; i++ {
+		main := b.Method(fmt.Sprintf("main%d", i))
+		for j := 0; j < 3+rng.Intn(6); j++ {
+			switch rng.Intn(4) {
+			case 0:
+				main.Write(objs[rng.Intn(nObj)], vm.FieldID(rng.Intn(2)))
+			case 1:
+				main.Read(objs[rng.Intn(nObj)], vm.FieldID(rng.Intn(2)))
+			default:
+				main.Call(meths[rng.Intn(nMeth)])
+			}
+		}
+		b.Thread(main)
+	}
+	prog := b.MustBuild()
+	return prog, func(m vm.MethodID) bool { return atomicSet[m] }
+}
+
+// RandomRich generates a random deadlock-free program exercising the full
+// operation set: ordered nested locks, wait/notify (safe because notifies
+// are banked and a dedicated never-waiting thread issues at least as many
+// notifies as there are waits), structured fork/join, array accesses, and
+// both atomic and non-atomic methods. Used by the cross-checker equivalence
+// property tests, which need coverage of every dependence-edge source.
+func RandomRich(seed int64) (*vm.Program, func(vm.MethodID) bool) {
+	rng := rand.New(rand.NewSource(seed))
+	b := vm.NewBuilder(fmt.Sprintf("rich%d", seed))
+	nObj := 3 + rng.Intn(4)
+	objs := b.Objects(nObj)
+	nLocks := 2 + rng.Intn(2)
+	locks := b.Objects(nLocks)
+	mon := b.Object()
+	arr := b.Array(8)
+
+	atomicSet := make(map[vm.MethodID]bool)
+	nMeth := 3 + rng.Intn(3)
+	var meths []*vm.MethodBuilder
+	for i := 0; i < nMeth; i++ {
+		mb := b.Method(fmt.Sprintf("m%d", i))
+		// Ordered nested locks: acquire in increasing index order.
+		lo := rng.Intn(nLocks)
+		hi := lo + rng.Intn(nLocks-lo)
+		nested := rng.Intn(3) == 0 && hi > lo
+		switch {
+		case nested:
+			mb.Acquire(locks[lo]).Acquire(locks[hi])
+		case rng.Intn(2) == 0:
+			mb.Acquire(locks[lo])
+		default:
+			lo = -1
+		}
+		for j := 0; j < 2+rng.Intn(5); j++ {
+			obj := objs[rng.Intn(nObj)]
+			f := vm.FieldID(rng.Intn(3))
+			switch rng.Intn(5) {
+			case 0:
+				mb.ArrayRead(arr, rng.Intn(8))
+			case 1:
+				mb.ArrayWrite(arr, rng.Intn(8))
+			case 2:
+				mb.Write(obj, f)
+			default:
+				mb.Read(obj, f)
+			}
+		}
+		switch {
+		case nested:
+			mb.Release(locks[hi]).Release(locks[lo])
+		case lo >= 0:
+			mb.Release(locks[lo])
+		}
+		if rng.Intn(2) == 0 {
+			atomicSet[mb.ID()] = true
+		}
+		meths = append(meths, mb)
+	}
+
+	// Worker threads: some wait on the monitor a bounded number of times.
+	nWorkers := 2 + rng.Intn(2)
+	totalWaits := 0
+	var workers []vm.ThreadID
+	for i := 0; i < nWorkers; i++ {
+		w := b.Method(fmt.Sprintf("worker%d", i))
+		for j := 0; j < 3+rng.Intn(5); j++ {
+			switch rng.Intn(6) {
+			case 0:
+				w.Acquire(mon).Wait(mon).Release(mon)
+				totalWaits++
+			case 1:
+				w.Write(objs[rng.Intn(nObj)], vm.FieldID(rng.Intn(3)))
+			case 2:
+				w.Compute(1 + rng.Intn(8))
+			default:
+				w.Call(meths[rng.Intn(nMeth)])
+			}
+		}
+		workers = append(workers, b.ForkedThread(w))
+	}
+
+	// The driver forks workers, issues enough notifies (banked, so order
+	// does not matter), does some unary work, and joins.
+	driver := b.Method("driver")
+	for _, w := range workers {
+		driver.Fork(w)
+	}
+	for i := 0; i < totalWaits; i++ {
+		driver.Acquire(mon).Notify(mon).Release(mon)
+		driver.Compute(1 + rng.Intn(4))
+	}
+	for j := 0; j < 2+rng.Intn(4); j++ {
+		driver.Read(objs[rng.Intn(nObj)], vm.FieldID(rng.Intn(3)))
+	}
+	for _, w := range workers {
+		driver.Join(w)
+	}
+	b.Thread(driver)
+	prog := b.MustBuild()
+	return prog, func(m vm.MethodID) bool { return atomicSet[m] }
+}

@@ -1,0 +1,310 @@
+package workloads
+
+import (
+	"testing"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/spec"
+	"doublechecker/internal/vm"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"eclipse6", "hsqldb6", "lusearch6", "xalan6",
+		"avrora9", "jython9", "luindex9", "lusearch9", "pmd9", "sunflow9", "xalan9",
+		"elevator", "hedc", "philo", "sor", "tsp",
+		"moldyn", "montecarlo", "raytracer",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		seen[n] = true
+	}
+	for _, n := range want {
+		if !seen[n] {
+			t.Errorf("missing benchmark %q", n)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+// specFor builds the paper-style initial spec for a Built.
+func specFor(t *testing.T, built *Built) *spec.Spec {
+	t.Helper()
+	s := spec.Initial(built.Prog)
+	if err := s.ExcludeByName(built.InitialExclusions...); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAllBenchmarksRunUnderEveryScheduler executes every benchmark
+// uninstrumented under several seeds: no deadlocks, no runtime errors, and
+// deterministic per seed.
+func TestAllBenchmarksRunUnderEverySeed(t *testing.T) {
+	for _, name := range All() {
+		built, err := Build(name, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := built.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for seed := int64(0); seed < 6; seed++ {
+			sched := vm.NewSticky(seed, built.Stickiness)
+			st, err := vm.NewExec(built.Prog, vm.Config{Sched: sched}).Run()
+			if err != nil {
+				t.Errorf("%s seed %d: %v", name, seed, err)
+				break
+			}
+			if st.TotalAccesses() == 0 {
+				t.Errorf("%s: no accesses", name)
+			}
+		}
+	}
+}
+
+// TestBenchmarksRunUnderDoubleChecker attaches the full single-run checker
+// to every benchmark with its initial specification.
+func TestBenchmarksRunUnderDoubleChecker(t *testing.T) {
+	for _, name := range All() {
+		built, err := Build(name, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := specFor(t, built)
+		r, err := core.Run(built.Prog, core.Config{
+			Analysis: core.DCSingle,
+			Sched:    vm.NewSticky(1, built.Stickiness),
+			Atomic:   s.Atomic,
+		})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if r.VMStats.RegularTx == 0 {
+			t.Errorf("%s: no regular transactions under initial spec", name)
+		}
+	}
+}
+
+// TestRacyBenchmarksProduceViolations: every benchmark with injected races
+// must produce at least one violation across a handful of seeds, and the
+// blamed methods must be among the injected ones or other spec methods —
+// crucially, benchmarks WITHOUT injected races must stay clean.
+func TestRacyBenchmarksProduceViolations(t *testing.T) {
+	clean := map[string]bool{
+		"jython9": true, "luindex9": true, "pmd9": true,
+		"philo": true, "sor": true, "moldyn": true, "raytracer": true,
+	}
+	for _, name := range All() {
+		built, err := Build(name, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := specFor(t, built)
+		total := 0
+		for seed := int64(0); seed < 8; seed++ {
+			r, err := core.Run(built.Prog, core.Config{
+				Analysis: core.DCSingle,
+				Sched:    vm.NewSticky(seed, built.Stickiness),
+				Atomic:   s.Atomic,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			total += len(r.BlamedMethods)
+		}
+		if clean[name] && total > 0 {
+			t.Errorf("%s: expected no violations, got %d blamed across seeds", name, total)
+		}
+		if !clean[name] && len(built.RacyMethods) > 0 && total == 0 {
+			t.Errorf("%s: injected races never detected in 8 seeds", name)
+		}
+	}
+}
+
+// TestScaleControlsSize: scale must grow dynamic counts.
+func TestScaleControlsSize(t *testing.T) {
+	small, _ := Build("avrora9", 0.2)
+	large, _ := Build("avrora9", 1.0)
+	run := func(b *Built) uint64 {
+		st, err := vm.NewExec(b.Prog, vm.Config{Sched: vm.NewSticky(1, b.Stickiness)}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.TotalAccesses()
+	}
+	if run(large) < 2*run(small) {
+		t.Error("scale=1.0 should be much larger than scale=0.2")
+	}
+}
+
+// TestDeterministicStructure: building twice yields identical programs.
+func TestDeterministicStructure(t *testing.T) {
+	for _, name := range All() {
+		a, _ := Build(name, 0.5)
+		b, _ := Build(name, 0.5)
+		if len(a.Prog.Methods) != len(b.Prog.Methods) || a.Prog.NumObjects != b.Prog.NumObjects {
+			t.Errorf("%s: nondeterministic structure", name)
+			continue
+		}
+		for i := range a.Prog.Methods {
+			am, bm := a.Prog.Methods[i], b.Prog.Methods[i]
+			if am.Name != bm.Name || len(am.Body) != len(bm.Body) {
+				t.Errorf("%s: method %d differs", name, i)
+			}
+		}
+	}
+}
+
+// TestTable3Shapes: spot-check the structural ratios that Table 3 reports.
+func TestTable3Shapes(t *testing.T) {
+	run := func(name string) (*core.Result, *Built) {
+		built, err := Build(name, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := specFor(t, built)
+		r, err := core.Run(built.Prog, core.Config{
+			Analysis: core.DCSingle,
+			Sched:    vm.NewSticky(3, built.Stickiness),
+			Atomic:   s.Atomic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, built
+	}
+
+	// tsp: non-transactional accesses dwarf transactional ones.
+	if r, _ := run("tsp"); r.ICD.UnaryAccesses < 4*r.ICD.RegularAccesses {
+		t.Errorf("tsp: unary %d vs regular %d — unary should dominate",
+			r.ICD.UnaryAccesses, r.ICD.RegularAccesses)
+	}
+	// jython9: nearly everything inside a handful of regular transactions.
+	if r, _ := run("jython9"); r.ICD.RegularTx > 16 || r.ICD.RegularAccesses < 100 {
+		t.Errorf("jython9: tx=%d regAccesses=%d — want few, giant transactions",
+			r.ICD.RegularTx, r.ICD.RegularAccesses)
+	}
+	// jython9 and luindex9: no cross-thread structure.
+	for _, name := range []string{"jython9", "luindex9", "pmd9"} {
+		if r, _ := run(name); r.ICD.SCCs != 0 {
+			t.Errorf("%s: expected 0 SCCs, got %d", name, r.ICD.SCCs)
+		}
+	}
+	// xalan6: SCC-heavy (the pathology).
+	rXalan, _ := run("xalan6")
+	if rXalan.ICD.SCCs < 20 {
+		t.Errorf("xalan6: expected many SCCs, got %d", rXalan.ICD.SCCs)
+	}
+	// montecarlo: contended enough for SCCs without many violations.
+	rMC, _ := run("montecarlo")
+	if rMC.ICD.SCCs == 0 {
+		t.Error("montecarlo: expected imprecise SCCs from the result-vector lock")
+	}
+	// avrora9: many small transactions.
+	rAvrora, _ := run("avrora9")
+	if rAvrora.ICD.RegularTx < 200 {
+		t.Errorf("avrora9: regular tx = %d, want many small ones", rAvrora.ICD.RegularTx)
+	}
+	// raytracer: read-shared scene means most accesses are fast-path reads.
+	// (OctetStats not surfaced in Result; assert via edges being tiny
+	// relative to accesses.)
+	rRay, _ := run("raytracer")
+	if rRay.ICD.IDGEdges*50 > rRay.ICD.RegularAccesses+rRay.ICD.UnaryAccesses {
+		t.Errorf("raytracer: edges %d too dense for %d accesses",
+			rRay.ICD.IDGEdges, rRay.ICD.RegularAccesses+rRay.ICD.UnaryAccesses)
+	}
+}
+
+// TestArrayHeavyBenchmarksHaveArrays: the §5.4 experiment needs array
+// accesses in at least a few benchmarks.
+func TestArrayHeavyBenchmarksHaveArrays(t *testing.T) {
+	withArrays := 0
+	for _, name := range All() {
+		built, _ := Build(name, 0.3)
+		st, err := vm.NewExec(built.Prog, vm.Config{Sched: vm.NewSticky(1, built.Stickiness)}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ArrayAccesses > 0 {
+			withArrays++
+		}
+	}
+	if withArrays < 3 {
+		t.Errorf("only %d benchmarks touch arrays", withArrays)
+	}
+}
+
+func TestRandomGeneratorDeterministic(t *testing.T) {
+	p1, _ := Random(7)
+	p2, _ := Random(7)
+	if len(p1.Methods) != len(p2.Methods) {
+		t.Error("Random not deterministic")
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		prog, atomic := Random(seed)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := core.Run(prog, core.Config{Analysis: core.DCSingle, Seed: 1, Atomic: atomic}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSoakFullSuiteAllAnalyses runs every benchmark at full scale under
+// every checker configuration once — the heaviest single test, guarded by
+// -short.
+func TestSoakFullSuiteAllAnalyses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	analyses := []core.Analysis{
+		core.Baseline, core.Velodrome, core.VelodromeUnsound,
+		core.DCSingle, core.DCFirst,
+	}
+	for _, name := range All() {
+		built, err := Build(name, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := specFor(t, built)
+		for _, a := range analyses {
+			if _, err := core.Run(built.Prog, core.Config{
+				Analysis: a,
+				Sched:    vm.NewSticky(11, built.Stickiness),
+				Atomic:   s.Atomic,
+			}); err != nil {
+				t.Errorf("%s/%v: %v", name, a, err)
+			}
+		}
+	}
+}
+
+// TestRichGeneratorAlwaysTerminates soaks the rich random generator across
+// many seeds and schedules: no deadlocks, no executor errors.
+func TestRichGeneratorAlwaysTerminates(t *testing.T) {
+	n := int64(60)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < n; seed++ {
+		prog, _ := RandomRich(seed)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for sched := int64(0); sched < 4; sched++ {
+			if _, err := vm.NewExec(prog, vm.Config{Sched: vm.NewRandom(sched)}).Run(); err != nil {
+				t.Fatalf("seed %d sched %d: %v", seed, sched, err)
+			}
+		}
+	}
+}
