@@ -1,14 +1,21 @@
 // Command dcbench regenerates the paper's evaluation — Table 2, Figure 7,
 // Table 3, the §5.4 experiments, the design-choice ablations, and the
 // filter-precision study — printing measured values next to the paper's.
+// SIGINT/SIGTERM stop the suite at the next experiment boundary.
 package main
 
 import (
+	"context"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"doublechecker/internal/cli"
 )
 
 func main() {
-	os.Exit(cli.DCBench(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := cli.DCBenchContext(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }

@@ -2,14 +2,22 @@
 // program and reports conflict-serializability violations, with optional
 // timeline explanations (-v), Graphviz export (-dot), static lint (-lint),
 // iterative refinement (-refine) and modelled-cost reporting (-cost).
+// Trials run supervised: -trial-timeout and -max-steps bound them, and
+// SIGINT/SIGTERM cancel the whole run promptly.
 package main
 
 import (
+	"context"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"doublechecker/internal/cli"
 )
 
 func main() {
-	os.Exit(cli.DCheck(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := cli.DCheckContext(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }

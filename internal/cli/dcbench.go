@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +16,13 @@ import (
 // DCBench runs the dcbench tool: regenerate the paper's evaluation. It
 // returns a process exit code.
 func DCBench(args []string, stdout, stderr io.Writer) int {
+	return DCBenchContext(context.Background(), args, stdout, stderr)
+}
+
+// DCBenchContext is DCBench under a context: cancellation stops the suite
+// at the next experiment boundary (individual experiments run to
+// completion, so partially computed tables are never printed).
+func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -47,14 +55,14 @@ func DCBench(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	if code := runExperiments(*experiment, *csvDir, eval.NewRunner(opts), stdout, stderr); code != 0 {
+	if code := runExperiments(ctx, *experiment, *csvDir, eval.NewRunner(opts), stdout, stderr); code != 0 {
 		return code
 	}
 	return 0
 }
 
 // runExperiments dispatches the experiment set; split out for testing.
-func runExperiments(experiment, csvDir string, runner *eval.Runner, stdout, stderr io.Writer) int {
+func runExperiments(ctx context.Context, experiment, csvDir string, runner *eval.Runner, stdout, stderr io.Writer) int {
 	writeCSV := func(name, content string) bool {
 		if csvDir == "" {
 			return true
@@ -68,6 +76,10 @@ func runExperiments(experiment, csvDir string, runner *eval.Runner, stdout, stde
 		return true
 	}
 	run := func(name string, f func() (string, error)) bool {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(stderr, "dcbench: canceled before %s: %v\n", name, err)
+			return false
+		}
 		start := time.Now()
 		out, err := f()
 		if err != nil {

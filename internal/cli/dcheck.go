@@ -4,16 +4,19 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"doublechecker/internal/core"
 	"doublechecker/internal/cost"
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
+	"doublechecker/internal/supervise"
 	"doublechecker/internal/vm"
 )
 
@@ -21,6 +24,12 @@ import (
 // selected checker configuration (or iterative refinement). It returns a
 // process exit code.
 func DCheck(args []string, stdout, stderr io.Writer) int {
+	return DCheckContext(context.Background(), args, stdout, stderr)
+}
+
+// DCheckContext is DCheck under a context: cancellation (e.g. SIGINT via
+// signal.NotifyContext in cmd/dcheck) aborts the run promptly.
+func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -34,6 +43,10 @@ func DCheck(args []string, stdout, stderr io.Writer) int {
 		costly  = fs.Bool("cost", false, "report modelled cost (normalized against an uninstrumented run)")
 		verbose = fs.Bool("v", false, "print a timeline explanation for each violation")
 		dot     = fs.Bool("dot", false, "emit the first violation as a Graphviz digraph and exit")
+
+		trialTimeout = fs.Duration("trial-timeout", 0, "wall-clock budget per trial (0: unbounded)")
+		maxSteps     = fs.Uint64("max-steps", 0, "step budget per execution (0: VM default)")
+		retries      = fs.Int("retries", 1, "extra attempts (rotated seeds) after a deadlock or step-limit trial")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -43,10 +56,19 @@ func DCheck(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 		return 2
 	}
-	err := runDCheck(dcheckOpts{
+	if *sticky <= 0 || *sticky > 1 {
+		fmt.Fprintf(stderr, "dcheck: -switch %v outside (0,1]\n", *sticky)
+		return 2
+	}
+	if *retries < 0 {
+		fmt.Fprintf(stderr, "dcheck: -retries %d is negative\n", *retries)
+		return 2
+	}
+	err := runDCheck(ctx, dcheckOpts{
 		path: fs.Arg(0), analysis: *analysisName, seed: *seed, trials: *trials,
 		sticky: *sticky, refine: *refine, lintOnly: *lint, costly: *costly,
 		verbose: *verbose, dot: *dot,
+		trialTimeout: *trialTimeout, maxSteps: *maxSteps, retries: *retries,
 	}, stdout, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "dcheck:", err)
@@ -62,9 +84,12 @@ type dcheckOpts struct {
 	trials                                 int
 	sticky                                 float64
 	refine, lintOnly, costly, verbose, dot bool
+	trialTimeout                           time.Duration
+	maxSteps                               uint64
+	retries                                int
 }
 
-func runDCheck(o dcheckOpts, stdout, stderr io.Writer) error {
+func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) error {
 	src, err := os.ReadFile(o.path)
 	if err != nil {
 		return err
@@ -108,35 +133,53 @@ func runDCheck(o dcheckOpts, stdout, stderr io.Writer) error {
 		prog.Name, len(prog.Methods), sp.Size(), len(prog.Threads), prog.NumObjects)
 
 	if o.refine {
-		return runRefine(prog, sp, o.sticky, stdout)
+		return runRefine(ctx, prog, sp, o, stdout)
 	}
 
+	budget := supervise.Budget{TrialTimeout: o.trialTimeout, Retries: o.retries}
 	blamed := make(map[string]bool)
 	totalViolations := 0
+	completed := 0
+	var lastErr error
 	for t := 0; t < o.trials; t++ {
 		s := o.seed + int64(t)
 		var meter *cost.Meter
 		var baseTotal cost.Units
 		if o.costly {
 			base := cost.NewMeter(cost.Default())
-			if _, err := core.Run(prog, core.Config{
+			if _, err := core.RunContext(ctx, prog, core.Config{
 				Analysis: core.Baseline, Sched: vm.NewSticky(s, o.sticky),
-				Atomic: sp.Atomic, Meter: base,
+				Atomic: sp.Atomic, Meter: base, MaxSteps: o.maxSteps,
 			}); err != nil {
 				return err
 			}
 			baseTotal = base.Total()
 			meter = cost.NewMeter(cost.Default())
 		}
-		res, err := core.Run(prog, core.Config{
-			Analysis: analysis,
-			Sched:    vm.NewSticky(s, o.sticky),
-			Atomic:   sp.Atomic,
-			Meter:    meter,
-		})
+		out, err := supervise.Trial(ctx, budget, o.analysis, s,
+			func(ctx context.Context, seed int64) (*core.Result, error) {
+				return core.RunContext(ctx, prog, core.Config{
+					Analysis: analysis,
+					Sched:    vm.NewSticky(seed, o.sticky),
+					Atomic:   sp.Atomic,
+					Meter:    meter,
+					MaxSteps: o.maxSteps,
+				})
+			})
 		if err != nil {
-			return err
+			return err // canceled
 		}
+		for _, f := range out.Failures {
+			fmt.Fprintf(stderr, "dcheck: %s\n", f)
+		}
+		if !out.OK {
+			if f := out.LastFailure(); f != nil {
+				lastErr = f.Err
+			}
+			continue
+		}
+		completed++
+		res := out.Value
 		totalViolations += len(res.Violations)
 		for m := range res.BlamedMethods {
 			blamed[prog.MethodName(m)] = true
@@ -147,15 +190,21 @@ func runDCheck(o dcheckOpts, stdout, stderr io.Writer) error {
 		}
 		if o.verbose {
 			for _, v := range res.Violations {
-				fmt.Fprintf(stdout, "--- seed %d ---\n%s", s, lang.ExplainViolation(unit, v))
+				fmt.Fprintf(stdout, "--- seed %d ---\n%s", out.Seed, lang.ExplainViolation(unit, v))
 			}
 		}
 		if o.costly {
 			fmt.Fprintf(stdout, "  seed %d: normalized execution time %.2fx (GC %.0f%%)\n",
-				s, res.Cost.Normalized(baseTotal), 100*res.Cost.GCFraction())
+				out.Seed, res.Cost.Normalized(baseTotal), 100*res.Cost.GCFraction())
 		}
 	}
-	fmt.Fprintf(stdout, "%d dynamic violations across %d trial(s)\n", totalViolations, o.trials)
+	if o.trials > 0 && completed == 0 {
+		return fmt.Errorf("all %d trials failed: %w", o.trials, lastErr)
+	}
+	if completed < o.trials {
+		fmt.Fprintf(stdout, "%d of %d trials completed\n", completed, o.trials)
+	}
+	fmt.Fprintf(stdout, "%d dynamic violations across %d trial(s)\n", totalViolations, completed)
 	if len(blamed) > 0 {
 		names := make([]string, 0, len(blamed))
 		for n := range blamed {
@@ -169,12 +218,13 @@ func runDCheck(o dcheckOpts, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func runRefine(prog *vm.Program, initial *spec.Spec, sticky float64, stdout io.Writer) error {
+func runRefine(ctx context.Context, prog *vm.Program, initial *spec.Spec, o dcheckOpts, stdout io.Writer) error {
 	check := func(sp *spec.Spec, trial int) ([]vm.MethodID, error) {
-		res, err := core.Run(prog, core.Config{
+		res, err := core.RunContext(ctx, prog, core.Config{
 			Analysis: core.DCSingle,
-			Sched:    vm.NewSticky(int64(trial), sticky),
+			Sched:    vm.NewSticky(int64(trial), o.sticky),
 			Atomic:   sp.Atomic,
+			MaxSteps: o.maxSteps,
 		})
 		if err != nil {
 			return nil, err

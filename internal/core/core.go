@@ -9,6 +9,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -124,6 +126,12 @@ type Config struct {
 	// out-of-memory once live analysis bytes exceed it — the 32-bit heap
 	// phenomenon of §5.1 (the run continues; Result.Cost.OOM reports it).
 	MemoryBudget int64
+
+	// WrapInst, if non-nil, wraps the analysis' instrumentation just before
+	// execution. It is the deterministic fault-injection seam (see
+	// internal/faultinject) and is also useful for passive observers; it
+	// must preserve the event stream it forwards.
+	WrapInst func(vm.Instrumentation) vm.Instrumentation
 }
 
 // Result reports one checked execution.
@@ -168,6 +176,12 @@ func (r *Result) BlamedMethodNames(prog *vm.Program) []string {
 
 // Run executes prog once under cfg and returns the result.
 func Run(prog *vm.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext is Run under a context: cancellation or an expired deadline
+// aborts the execution promptly, surfacing the context's error.
+func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, error) {
 	sched := cfg.Sched
 	if sched == nil {
 		sched = vm.NewRandom(cfg.Seed)
@@ -265,13 +279,16 @@ func Run(prog *vm.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: unknown analysis %v", cfg.Analysis)
 	}
 
+	if cfg.WrapInst != nil {
+		inst = cfg.WrapInst(inst)
+	}
 	stats, err := vm.NewExec(prog, vm.Config{
 		Sched:    sched,
 		Inst:     inst,
 		Atomic:   cfg.Atomic,
 		Meter:    cfg.Meter,
 		MaxSteps: cfg.MaxSteps,
-	}).Run()
+	}).RunContext(ctx)
 	if stats != nil {
 		res.VMStats = *stats
 	}
@@ -327,32 +344,79 @@ func UnionFilterMinSupport(firsts []*Result, minSupport int) *txn.Filter {
 	return f
 }
 
+// FirstRunFailure records one first run the multi-run pipeline tolerated
+// losing: the first runs are an ensemble, so losing some of them shrinks the
+// second run's filter but does not invalidate the pipeline.
+type FirstRunFailure struct {
+	// Index is the first run's position in the ensemble.
+	Index int
+	// Seed is the failing run's schedule seed.
+	Seed int64
+	// Err is the underlying error (errors.Is sees through it).
+	Err error
+}
+
+// MultiRunOutcome is MultiRunContext's result.
+type MultiRunOutcome struct {
+	// Firsts holds the successful first runs, in seed order.
+	Firsts []*Result
+	// FirstFailures records the first runs that failed and were tolerated.
+	FirstFailures []FirstRunFailure
+	// Second is the filtered second run's result.
+	Second *Result
+}
+
 // MultiRun executes the full multi-run pipeline: firstTrials first runs
 // (seeds seedBase..seedBase+firstTrials-1), union of their static
 // information, then one second run with seed secondSeed. Meters, if
 // wanted, must be attached per run by the caller via the returned configs —
 // this helper targets correctness flows; the evaluation harness drives the
 // runs itself for cost accounting.
+//
+// Individual first-run failures are tolerated (the survivors' union feeds
+// the second run); it errors only when every first run fails, when the
+// second run fails, or on cancellation. MultiRunContext additionally
+// reports which first runs were lost.
 func MultiRun(prog *vm.Program, atomic func(vm.MethodID) bool, firstTrials int, seedBase, secondSeed int64) (firsts []*Result, second *Result, err error) {
+	o, err := MultiRunContext(context.Background(), prog, atomic, firstTrials, seedBase, secondSeed)
+	return o.Firsts, o.Second, err
+}
+
+// MultiRunContext is MultiRun under a context; see MultiRun for the
+// pipeline and failure-tolerance semantics.
+func MultiRunContext(ctx context.Context, prog *vm.Program, atomic func(vm.MethodID) bool, firstTrials int, seedBase, secondSeed int64) (*MultiRunOutcome, error) {
+	o := &MultiRunOutcome{}
+	var firstErrs []error
 	for i := 0; i < firstTrials; i++ {
-		r, err := Run(prog, Config{
+		seed := seedBase + int64(i)
+		r, err := RunContext(ctx, prog, Config{
 			Analysis: DCFirst,
-			Seed:     seedBase + int64(i),
+			Seed:     seed,
 			Atomic:   atomic,
 		})
 		if err != nil {
-			return firsts, nil, fmt.Errorf("first run %d: %w", i, err)
+			if ctx.Err() != nil {
+				// Cancellation is a whole-pipeline abort, not a lost run.
+				return o, fmt.Errorf("first run %d: %w", i, err)
+			}
+			o.FirstFailures = append(o.FirstFailures, FirstRunFailure{Index: i, Seed: seed, Err: err})
+			firstErrs = append(firstErrs, fmt.Errorf("first run %d (seed %d): %w", i, seed, err))
+			continue
 		}
-		firsts = append(firsts, r)
+		o.Firsts = append(o.Firsts, r)
 	}
-	second, err = Run(prog, Config{
+	if len(o.Firsts) == 0 && firstTrials > 0 {
+		return o, fmt.Errorf("core: all %d first runs failed: %w", firstTrials, errors.Join(firstErrs...))
+	}
+	second, err := RunContext(ctx, prog, Config{
 		Analysis: DCSecond,
 		Seed:     secondSeed,
 		Atomic:   atomic,
-		Filter:   UnionFilter(firsts),
+		Filter:   UnionFilter(o.Firsts),
 	})
+	o.Second = second
 	if err != nil {
-		return firsts, second, fmt.Errorf("second run: %w", err)
+		return o, fmt.Errorf("second run: %w", err)
 	}
-	return firsts, second, nil
+	return o, nil
 }

@@ -1,0 +1,143 @@
+// Package faultinject injects deterministic faults into checked executions,
+// so the supervisor's recovery paths can be proven rather than assumed.
+//
+// The injectors wrap the two seams every checked run already flows through:
+// vm.Instrumentation (where a real checker bug — a panic in transaction
+// bookkeeping or cycle detection — would live) and vm.Scheduler (where a
+// hostile or hung schedule lives). Faults fire at event *counts*, not at
+// times or probabilities, so an injected run is exactly reproducible: the
+// Nth access panics, stalls, or trips the memory budget on every run with
+// the same program and seed.
+package faultinject
+
+import (
+	"time"
+
+	"doublechecker/internal/cost"
+	"doublechecker/internal/vm"
+)
+
+// DefaultPanicMsg is the panic value used when Plan.PanicMsg is empty.
+const DefaultPanicMsg = "faultinject: scheduled panic"
+
+// Plan schedules instrumentation faults at deterministic event counts.
+// Counts are 1-based over the events the wrapper observes; 0 disables a
+// fault.
+type Plan struct {
+	// PanicAtAccess panics before forwarding the Nth Access event.
+	PanicAtAccess uint64
+	// PanicAtTxEnd panics before forwarding the Nth TxEnd event — the
+	// transaction-bookkeeping seam (txn.EndRegular and friends).
+	PanicAtTxEnd uint64
+	// PanicMsg is the panic value; DefaultPanicMsg when empty.
+	PanicMsg string
+
+	// StallAtAccess sleeps StallFor before the Nth access, and — when
+	// StallEveryAccess is set — again every that-many accesses after it.
+	// Use it to make a trial measurably exceed a wall-clock deadline.
+	StallAtAccess    uint64
+	StallEveryAccess uint64
+	StallFor         time.Duration
+
+	// OOMAtAccess charges OOMBytes of live analysis allocation to Meter at
+	// the Nth access — a deterministic stand-in for the metadata spike that
+	// trips a MemoryBudget (§5.1's 32-bit OOMs).
+	OOMAtAccess uint64
+	OOMBytes    int64
+	Meter       *cost.Meter
+}
+
+// Inst wraps inner so the plan's faults fire inside instrumentation
+// callbacks, exactly where a real checker failure would. The wrapper is
+// single-use per run (it owns the event counters).
+func Inst(inner vm.Instrumentation, p *Plan) vm.Instrumentation {
+	return &inst{inner: inner, plan: p}
+}
+
+type inst struct {
+	inner    vm.Instrumentation
+	plan     *Plan
+	accesses uint64
+	txEnds   uint64
+}
+
+func (i *inst) panicNow() {
+	msg := i.plan.PanicMsg
+	if msg == "" {
+		msg = DefaultPanicMsg
+	}
+	panic(msg)
+}
+
+func (i *inst) ProgramStart(e *vm.Exec)   { i.inner.ProgramStart(e) }
+func (i *inst) ThreadStart(t vm.ThreadID) { i.inner.ThreadStart(t) }
+func (i *inst) ThreadExit(t vm.ThreadID)  { i.inner.ThreadExit(t) }
+func (i *inst) ProgramEnd()               { i.inner.ProgramEnd() }
+
+func (i *inst) TxBegin(t vm.ThreadID, m vm.MethodID) { i.inner.TxBegin(t, m) }
+
+func (i *inst) TxEnd(t vm.ThreadID, m vm.MethodID) {
+	i.txEnds++
+	if i.plan.PanicAtTxEnd != 0 && i.txEnds == i.plan.PanicAtTxEnd {
+		i.panicNow()
+	}
+	i.inner.TxEnd(t, m)
+}
+
+func (i *inst) Access(a vm.Access) {
+	i.accesses++
+	n := i.accesses
+	if i.plan.PanicAtAccess != 0 && n == i.plan.PanicAtAccess {
+		i.panicNow()
+	}
+	if i.plan.StallAtAccess != 0 && n >= i.plan.StallAtAccess {
+		hit := n == i.plan.StallAtAccess
+		if !hit && i.plan.StallEveryAccess != 0 {
+			hit = (n-i.plan.StallAtAccess)%i.plan.StallEveryAccess == 0
+		}
+		if hit {
+			time.Sleep(i.plan.StallFor)
+		}
+	}
+	if i.plan.OOMAtAccess != 0 && n == i.plan.OOMAtAccess && i.plan.Meter != nil {
+		i.plan.Meter.Alloc(i.plan.OOMBytes)
+	}
+	i.inner.Access(a)
+}
+
+// SchedPlan schedules scheduler-side stalls at deterministic pick counts —
+// a hung or glacially slow schedule source for deadline tests.
+type SchedPlan struct {
+	// StallAtPick sleeps StallFor at the Nth scheduling decision (1-based),
+	// and — when StallEvery is set — every that-many picks after it.
+	StallAtPick uint64
+	StallEvery  uint64
+	StallFor    time.Duration
+}
+
+// Sched wraps inner with the plan's stalls. Thread choice is delegated
+// untouched, so the interleaving (and thus the checkers' findings) is
+// identical to the unwrapped scheduler's.
+func Sched(inner vm.Scheduler, p SchedPlan) vm.Scheduler {
+	return &sched{inner: inner, plan: p}
+}
+
+type sched struct {
+	inner vm.Scheduler
+	plan  SchedPlan
+	picks uint64
+}
+
+func (s *sched) Next(runnable []vm.ThreadID, step uint64) vm.ThreadID {
+	s.picks++
+	if s.plan.StallAtPick != 0 && s.picks >= s.plan.StallAtPick {
+		hit := s.picks == s.plan.StallAtPick
+		if !hit && s.plan.StallEvery != 0 {
+			hit = (s.picks-s.plan.StallAtPick)%s.plan.StallEvery == 0
+		}
+		if hit {
+			time.Sleep(s.plan.StallFor)
+		}
+	}
+	return s.inner.Next(runnable, step)
+}

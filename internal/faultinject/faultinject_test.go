@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"doublechecker/internal/cost"
+	"doublechecker/internal/vm"
+)
+
+// twoThreadProg builds a small two-thread program with one atomic method, so
+// runs emit accesses and transaction events.
+func twoThreadProg(t *testing.T) *vm.Program {
+	t.Helper()
+	b := vm.NewBuilder("faulty")
+	obj := b.Object()
+	m := b.Method("bump")
+	m.Read(obj, 0).Compute(2).Write(obj, 0)
+	for i := 0; i < 2; i++ {
+		main := b.Method("main" + string(rune('0'+i)))
+		main.CallN(m, 5)
+		b.Thread(main)
+	}
+	return b.MustBuild()
+}
+
+// countingInst counts the events that reach the wrapped (inner) side.
+type countingInst struct {
+	vm.NopInst
+	accesses int
+	txEnds   int
+}
+
+func (c *countingInst) Access(vm.Access)               { c.accesses++ }
+func (c *countingInst) TxEnd(vm.ThreadID, vm.MethodID) { c.txEnds++ }
+
+func run(t *testing.T, prog *vm.Program, inst vm.Instrumentation) error {
+	t.Helper()
+	bump := prog.MethodByName("bump").ID
+	_, err := vm.NewExec(prog, vm.Config{
+		Sched:  vm.NewRoundRobin(),
+		Inst:   inst,
+		Atomic: func(m vm.MethodID) bool { return m == bump },
+	}).Run()
+	return err
+}
+
+func TestPanicAtExactAccess(t *testing.T) {
+	prog := twoThreadProg(t)
+	inner := &countingInst{}
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("want injected panic %q, got %v", "boom", r)
+		}
+		// The panic fires before forwarding the Nth access: the inner
+		// instrumentation saw exactly N-1.
+		if inner.accesses != 4 {
+			t.Fatalf("inner saw %d accesses before the panic, want 4", inner.accesses)
+		}
+	}()
+	_ = run(t, prog, Inst(inner, &Plan{PanicAtAccess: 5, PanicMsg: "boom"}))
+	t.Fatal("injected panic did not fire")
+}
+
+func TestPanicAtTxEnd(t *testing.T) {
+	prog := twoThreadProg(t)
+	inner := &countingInst{}
+	defer func() {
+		if r := recover(); r != DefaultPanicMsg {
+			t.Fatalf("want default panic message, got %v", r)
+		}
+		if inner.txEnds != 2 {
+			t.Fatalf("inner saw %d TxEnds before the panic, want 2", inner.txEnds)
+		}
+	}()
+	_ = run(t, prog, Inst(inner, &Plan{PanicAtTxEnd: 3}))
+	t.Fatal("injected panic did not fire")
+}
+
+func TestNoFaultsIsTransparent(t *testing.T) {
+	prog := twoThreadProg(t)
+	plain, wrapped := &countingInst{}, &countingInst{}
+	if err := run(t, prog, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, prog, Inst(wrapped, &Plan{})); err != nil {
+		t.Fatal(err)
+	}
+	if plain.accesses != wrapped.accesses || plain.txEnds != wrapped.txEnds {
+		t.Fatalf("empty plan altered the event stream: %+v vs %+v", plain, wrapped)
+	}
+	if plain.accesses == 0 {
+		t.Fatal("program emitted no accesses; test is vacuous")
+	}
+}
+
+func TestOOMTripsMeterBudget(t *testing.T) {
+	prog := twoThreadProg(t)
+	meter := cost.NewMeter(cost.Default())
+	meter.SetBudget(1 << 20)
+	if err := run(t, prog, Inst(&countingInst{}, &Plan{
+		OOMAtAccess: 3, OOMBytes: 2 << 20, Meter: meter,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if !meter.Report().OOM {
+		t.Fatal("injected allocation did not trip the memory budget")
+	}
+}
+
+func TestOOMBelowBudgetDoesNotTrip(t *testing.T) {
+	prog := twoThreadProg(t)
+	meter := cost.NewMeter(cost.Default())
+	meter.SetBudget(1 << 20)
+	if err := run(t, prog, Inst(&countingInst{}, &Plan{
+		OOMAtAccess: 3, OOMBytes: 1 << 10, Meter: meter,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Report().OOM {
+		t.Fatal("sub-budget allocation tripped the memory budget")
+	}
+}
+
+func TestInstStallDelays(t *testing.T) {
+	prog := twoThreadProg(t)
+	const stall = 5 * time.Millisecond
+	start := time.Now()
+	if err := run(t, prog, Inst(&countingInst{}, &Plan{
+		StallAtAccess: 1, StallEveryAccess: 10, StallFor: stall,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("run finished in %v, faster than a single %v stall", elapsed, stall)
+	}
+}
+
+func TestSchedStallDelaysAndPreservesChoices(t *testing.T) {
+	prog := twoThreadProg(t)
+	// The wrapped scheduler must pick the same threads as the plain one.
+	bump := prog.MethodByName("bump").ID
+	atomic := func(m vm.MethodID) bool { return m == bump }
+	plain, err := vm.NewExec(prog, vm.Config{Sched: vm.NewSticky(42, 0.3), Atomic: atomic}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const stall = 3 * time.Millisecond
+	wrapped, err := vm.NewExec(prog, vm.Config{
+		Sched:  Sched(vm.NewSticky(42, 0.3), SchedPlan{StallAtPick: 2, StallFor: stall}),
+		Atomic: atomic,
+		Inst:   vm.NopInst{},
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < stall {
+		t.Fatal("scheduler stall did not delay the run")
+	}
+	if plain.Steps != wrapped.Steps || plain.RegularTx != wrapped.RegularTx {
+		t.Fatalf("stall changed the interleaving: %+v vs %+v", plain, wrapped)
+	}
+}

@@ -1,0 +1,274 @@
+// Package supervise makes checking trials survivable and budgeted.
+//
+// The paper's own evaluation is full of runs that fail: PCD-only runs
+// exhaust memory (§5.4), 32-bit heaps go OOM (§5.1), and multi-run mode
+// exists precisely as a degraded-but-cheap fallback to single-run mode. A
+// production checker therefore needs a supervisor between "run one trial"
+// and "run a 100-trial check": one pathological schedule, one checker
+// panic, or one runaway execution must not sink the whole check.
+//
+// Trial runs a single attempt function under that supervision:
+//
+//   - cancellation: the parent context aborts the whole check promptly
+//     (ErrCanceled);
+//   - wall-clock budget: each attempt runs under an optional deadline,
+//     surfaced as ErrTrialTimeout;
+//   - panic quarantine: a panicking checker is recovered and converted into
+//     a structured TrialFailure with a stable stack digest;
+//   - bounded retry: schedule-dependent failures (vm.ErrDeadlock,
+//     vm.ErrStepLimit) are retried under rotated seeds, and the retried-away
+//     failures stay on the record, marked Recovered.
+//
+// The package is deliberately generic over the attempt's result type so the
+// public API, the CLI, and tests can all reuse the same supervision.
+package supervise
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"doublechecker/internal/vm"
+)
+
+// Typed supervision errors. Callers match them with errors.Is.
+var (
+	// ErrCanceled reports that the check's parent context was canceled; the
+	// supervisor aborts promptly instead of starting further attempts.
+	ErrCanceled = errors.New("supervise: check canceled")
+	// ErrTrialTimeout reports that one trial attempt exceeded its wall-clock
+	// budget (Budget.TrialTimeout).
+	ErrTrialTimeout = errors.New("supervise: trial deadline exceeded")
+)
+
+// FailureKind classifies why a trial attempt failed.
+type FailureKind string
+
+// The failure kinds the supervisor distinguishes.
+const (
+	// KindPanic is a quarantined checker panic.
+	KindPanic FailureKind = "panic"
+	// KindTimeout is a trial that exceeded its wall-clock budget.
+	KindTimeout FailureKind = "timeout"
+	// KindDeadlock is a schedule that deadlocked the program (retryable).
+	KindDeadlock FailureKind = "deadlock"
+	// KindStepLimit is an execution that exceeded its step budget (retryable).
+	KindStepLimit FailureKind = "step-limit"
+	// KindOOM is a run that tripped its analysis memory budget.
+	KindOOM FailureKind = "oom"
+	// KindError is any other attempt error.
+	KindError FailureKind = "error"
+)
+
+// Classify maps an attempt error to its FailureKind.
+func Classify(err error) FailureKind {
+	switch {
+	case errors.Is(err, ErrTrialTimeout), errors.Is(err, context.DeadlineExceeded):
+		return KindTimeout
+	case errors.Is(err, vm.ErrDeadlock):
+		return KindDeadlock
+	case errors.Is(err, vm.ErrStepLimit):
+		return KindStepLimit
+	default:
+		return KindError
+	}
+}
+
+// Transient reports whether err is schedule-dependent and therefore worth
+// retrying under a rotated seed: a deadlock or a blown step budget may not
+// recur on a different interleaving, whereas a panic or a parse error will.
+func Transient(err error) bool {
+	return errors.Is(err, vm.ErrDeadlock) || errors.Is(err, vm.ErrStepLimit)
+}
+
+// TrialFailure is the structured record of one failed trial attempt — what
+// the supervisor puts on the report instead of aborting the check.
+type TrialFailure struct {
+	// Analysis names the configuration that failed (e.g. "single-run",
+	// "dc-first").
+	Analysis string
+	// Seed is the schedule seed of the failing attempt (retries rotate it).
+	Seed int64
+	// Attempt is the 1-based attempt number within the trial.
+	Attempt int
+	// Kind classifies the failure.
+	Kind FailureKind
+	// Err is the underlying error; errors.Is sees through it (e.g. to
+	// vm.ErrDeadlock or ErrTrialTimeout).
+	Err error
+	// StackDigest is a stable 8-hex-digit digest of the panicking
+	// goroutine's stack; empty for non-panic failures. Equal digests across
+	// runs point at the same checker bug.
+	StackDigest string
+	// Recovered reports that a later attempt (or a mode downgrade) completed
+	// the trial anyway, so the failure cost coverage of one seed, not the
+	// trial.
+	Recovered bool
+}
+
+func (f TrialFailure) String() string {
+	s := fmt.Sprintf("%s trial (seed %d, attempt %d) %s: %v", f.Analysis, f.Seed, f.Attempt, f.Kind, f.Err)
+	if f.StackDigest != "" {
+		s += " [stack " + f.StackDigest + "]"
+	}
+	if f.Recovered {
+		s += " (recovered)"
+	}
+	return s
+}
+
+// DefaultSeedStride is the seed rotation between retry attempts: a prime far
+// larger than any realistic trial count, so retry seeds stay disjoint from
+// the check's own seed range.
+const DefaultSeedStride = 7919
+
+// Budget bounds one supervised trial.
+type Budget struct {
+	// TrialTimeout is the per-attempt wall-clock budget; 0 means unbounded.
+	TrialTimeout time.Duration
+	// Retries is how many extra attempts a Transient failure earns.
+	Retries int
+	// SeedStride is added to the seed on each retry; 0 means
+	// DefaultSeedStride.
+	SeedStride int64
+}
+
+// Outcome is the result of one supervised trial.
+type Outcome[T any] struct {
+	// Value is the successful attempt's result; meaningful only when OK.
+	Value T
+	// OK reports whether any attempt completed.
+	OK bool
+	// Seed is the seed of the successful attempt (it differs from the trial
+	// seed when a retry recovered the trial); the trial seed when none did.
+	Seed int64
+	// Attempts is how many attempts ran.
+	Attempts int
+	// Failures records every failed attempt in order. When OK, they are all
+	// marked Recovered.
+	Failures []TrialFailure
+}
+
+// LastFailure returns the final attempt's failure, or nil.
+func (o *Outcome[T]) LastFailure() *TrialFailure {
+	if o.OK || len(o.Failures) == 0 {
+		return nil
+	}
+	return &o.Failures[len(o.Failures)-1]
+}
+
+// Trial runs one supervised trial of attempt. The returned error is non-nil
+// only for whole-check aborts (a canceled parent context, as ErrCanceled);
+// every per-trial failure — panic, timeout, deadlock, step limit — is
+// absorbed into the Outcome so the caller's remaining trials continue.
+func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
+	attempt func(ctx context.Context, seed int64) (T, error)) (Outcome[T], error) {
+
+	out := Outcome[T]{Seed: seed}
+	stride := b.SeedStride
+	if stride == 0 {
+		stride = DefaultSeedStride
+	}
+	for a := 1; ; a++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, fmt.Errorf("%w: %w", ErrCanceled, cerr)
+		}
+		s := seed + int64(a-1)*stride
+		out.Attempts = a
+		v, err, panicked, digest := runAttempt(ctx, b.TrialTimeout, s, attempt)
+		if err == nil {
+			out.Value, out.OK, out.Seed = v, true, s
+			for i := range out.Failures {
+				out.Failures[i].Recovered = true
+			}
+			return out, nil
+		}
+		// A failing attempt under a done parent context means the check was
+		// canceled, not that the trial hit its own budget.
+		if cerr := ctx.Err(); cerr != nil && !panicked {
+			return out, fmt.Errorf("%w: %w", ErrCanceled, cerr)
+		}
+		f := TrialFailure{Analysis: analysis, Seed: s, Attempt: a, Err: err, StackDigest: digest}
+		switch {
+		case panicked:
+			f.Kind = KindPanic
+		case errors.Is(err, context.DeadlineExceeded):
+			f.Kind = KindTimeout
+			f.Err = fmt.Errorf("%w: %w", ErrTrialTimeout, err)
+		default:
+			f.Kind = Classify(err)
+		}
+		out.Failures = append(out.Failures, f)
+		if !Transient(err) || a > b.Retries {
+			return out, nil
+		}
+	}
+}
+
+// runAttempt executes one attempt under an optional deadline, quarantining
+// panics into (err, panicked, digest).
+func runAttempt[T any](ctx context.Context, timeout time.Duration, seed int64,
+	attempt func(context.Context, int64) (T, error)) (v T, err error, panicked bool, digest string) {
+
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			digest = stackDigest(debug.Stack())
+			err = fmt.Errorf("checker panic: %v", r)
+			panicked = true
+		}
+	}()
+	v, err = attempt(actx, seed)
+	return v, err, false, ""
+}
+
+// stackDigest hashes a panic stack into a stable 8-hex-digit fingerprint.
+// Only the frames between the panic site and the supervisor's recover point
+// are hashed, and goroutine IDs, argument values, and code offsets are
+// stripped: the same checker bug digests identically across trials, seeds,
+// and processes, so repeated failures can be recognized as one bug.
+func stackDigest(stack []byte) string {
+	lines := strings.Split(string(stack), "\n")
+	// The traceback reads: deferred recover frames, runtime.gopanic (shown
+	// as "panic(...)"), the panic site's frames, then runAttempt and its
+	// callers. Keep the slice between the last panic frame and runAttempt.
+	start := 0
+	for i, ln := range lines {
+		if strings.HasPrefix(ln, "panic(") {
+			start = i + 2 // skip the panic frame's own file line too
+		}
+	}
+	end := len(lines)
+	for i := start; i < len(lines); i++ {
+		if strings.Contains(lines[i], "supervise.runAttempt") {
+			end = i
+			break
+		}
+	}
+	var b strings.Builder
+	for _, ln := range lines[start:end] {
+		if strings.HasPrefix(ln, "goroutine ") {
+			continue
+		}
+		if i := strings.LastIndexByte(ln, '('); i > 0 {
+			ln = ln[:i] // drop argument values
+		}
+		if i := strings.Index(ln, " +0x"); i > 0 {
+			ln = ln[:i] // drop code offsets
+		}
+		b.WriteString(ln)
+		b.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:4])
+}

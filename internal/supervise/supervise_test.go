@@ -1,0 +1,206 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"doublechecker/internal/vm"
+)
+
+func TestTrialFirstAttemptSucceeds(t *testing.T) {
+	out, err := Trial(context.Background(), Budget{}, "test", 7,
+		func(_ context.Context, seed int64) (int, error) { return int(seed) * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Value != 14 || out.Seed != 7 || out.Attempts != 1 || len(out.Failures) != 0 {
+		t.Fatalf("unexpected outcome: %+v", out)
+	}
+}
+
+func TestTrialPanicQuarantine(t *testing.T) {
+	calls := 0
+	out, err := Trial(context.Background(), Budget{Retries: 3}, "test", 1,
+		func(_ context.Context, _ int64) (int, error) { calls++; panic("checker bug") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK {
+		t.Fatal("panic attempt reported OK")
+	}
+	if calls != 1 {
+		t.Fatalf("panics must not be retried; attempt ran %d times", calls)
+	}
+	f := out.LastFailure()
+	if f == nil || f.Kind != KindPanic {
+		t.Fatalf("want panic failure, got %+v", out.Failures)
+	}
+	if len(f.StackDigest) != 8 {
+		t.Fatalf("want 8-hex stack digest, got %q", f.StackDigest)
+	}
+	if f.Err == nil || f.Recovered {
+		t.Fatalf("bad failure record: %+v", f)
+	}
+}
+
+func TestTrialPanicDigestIsStable(t *testing.T) {
+	boom := func(_ context.Context, _ int64) (int, error) { panic("same site") }
+	a, _ := Trial(context.Background(), Budget{}, "test", 1, boom)
+	b, _ := Trial(context.Background(), Budget{}, "test", 2, boom)
+	if a.Failures[0].StackDigest == "" || a.Failures[0].StackDigest != b.Failures[0].StackDigest {
+		t.Fatalf("digests differ for the same panic site: %q vs %q",
+			a.Failures[0].StackDigest, b.Failures[0].StackDigest)
+	}
+}
+
+func TestTrialRetriesTransientWithSeedRotation(t *testing.T) {
+	var seeds []int64
+	out, err := Trial(context.Background(), Budget{Retries: 2}, "test", 100,
+		func(_ context.Context, seed int64) (int64, error) {
+			seeds = append(seeds, seed)
+			if len(seeds) < 3 {
+				return 0, fmt.Errorf("schedule %d: %w", seed, vm.ErrDeadlock)
+			}
+			return seed, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Attempts != 3 {
+		t.Fatalf("unexpected outcome: %+v", out)
+	}
+	want := []int64{100, 100 + DefaultSeedStride, 100 + 2*DefaultSeedStride}
+	for i, s := range want {
+		if seeds[i] != s {
+			t.Fatalf("attempt %d ran seed %d, want %d", i+1, seeds[i], s)
+		}
+	}
+	if out.Seed != want[2] {
+		t.Fatalf("Outcome.Seed = %d, want the succeeding seed %d", out.Seed, want[2])
+	}
+	for _, f := range out.Failures {
+		if !f.Recovered || f.Kind != KindDeadlock {
+			t.Fatalf("retried-away failure not marked recovered: %+v", f)
+		}
+	}
+}
+
+func TestTrialRetriesExhausted(t *testing.T) {
+	calls := 0
+	out, err := Trial(context.Background(), Budget{Retries: 2}, "test", 1,
+		func(_ context.Context, _ int64) (int, error) { calls++; return 0, vm.ErrStepLimit })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK || calls != 3 || len(out.Failures) != 3 {
+		t.Fatalf("want 3 failed attempts, got calls=%d outcome=%+v", calls, out)
+	}
+	if f := out.LastFailure(); !errors.Is(f.Err, vm.ErrStepLimit) || f.Kind != KindStepLimit || f.Recovered {
+		t.Fatalf("bad final failure: %+v", f)
+	}
+	if out.Failures[0].Recovered {
+		t.Fatal("failure marked recovered although the trial never completed")
+	}
+}
+
+func TestTrialNonTransientNotRetried(t *testing.T) {
+	calls := 0
+	out, _ := Trial(context.Background(), Budget{Retries: 5}, "test", 1,
+		func(_ context.Context, _ int64) (int, error) { calls++; return 0, errors.New("parse error") })
+	if out.OK || calls != 1 {
+		t.Fatalf("non-transient error retried %d times", calls)
+	}
+	if out.Failures[0].Kind != KindError {
+		t.Fatalf("want KindError, got %+v", out.Failures[0])
+	}
+}
+
+func TestTrialTimeout(t *testing.T) {
+	out, err := Trial(context.Background(), Budget{TrialTimeout: 20 * time.Millisecond}, "test", 1,
+		func(ctx context.Context, _ int64) (int, error) {
+			<-ctx.Done() // a well-behaved trial observes its deadline
+			return 0, fmt.Errorf("aborted: %w", ctx.Err())
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK {
+		t.Fatal("timed-out trial reported OK")
+	}
+	f := out.LastFailure()
+	if f.Kind != KindTimeout || !errors.Is(f.Err, ErrTrialTimeout) {
+		t.Fatalf("want ErrTrialTimeout failure, got %+v", f)
+	}
+}
+
+func TestTrialCanceledParentAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := Trial(ctx, Budget{}, "test", 1,
+		func(_ context.Context, _ int64) (int, error) { calls++; return 1, nil })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("attempt ran %d times under a canceled context", calls)
+	}
+}
+
+func TestTrialCancellationMidTrialIsNotATimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := Trial(ctx, Budget{TrialTimeout: time.Hour}, "test", 1,
+		func(actx context.Context, _ int64) (int, error) {
+			cancel() // the user hits ^C while the trial runs
+			<-actx.Done()
+			return 0, actx.Err()
+		})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled for parent cancellation, got %v", err)
+	}
+}
+
+func TestClassifyAndTransient(t *testing.T) {
+	cases := []struct {
+		err       error
+		kind      FailureKind
+		transient bool
+	}{
+		{fmt.Errorf("x: %w", vm.ErrDeadlock), KindDeadlock, true},
+		{fmt.Errorf("x: %w", vm.ErrStepLimit), KindStepLimit, true},
+		{fmt.Errorf("x: %w", ErrTrialTimeout), KindTimeout, false},
+		{context.DeadlineExceeded, KindTimeout, false},
+		{errors.New("other"), KindError, false},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.kind {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.kind)
+		}
+		if got := Transient(c.err); got != c.transient {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.transient)
+		}
+	}
+}
+
+func TestFailureString(t *testing.T) {
+	f := TrialFailure{Analysis: "single-run", Seed: 3, Attempt: 2, Kind: KindPanic,
+		Err: errors.New("checker panic: boom"), StackDigest: "deadbeef", Recovered: true}
+	s := f.String()
+	for _, want := range []string{"single-run", "seed 3", "attempt 2", "panic", "deadbeef", "recovered"} {
+		if !containsStr(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// longProg builds a single-thread program with far more steps than
+// ctxCheckMask, so mid-run cancellation has room to bite.
+func longProg() *Program {
+	b := NewBuilder("long")
+	obj := b.Object()
+	m := b.Method("work")
+	m.Read(obj, 0).Write(obj, 0)
+	main := b.Method("main")
+	main.CallN(m, 5000)
+	b.Thread(main)
+	return b.MustBuild()
+}
+
+func TestRunContextPreCanceledReturnsBeforeAnyStep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := NewExec(longProg(), Config{}).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if stats.Steps != 0 {
+		t.Fatalf("executed %d steps under a pre-canceled context", stats.Steps)
+	}
+}
+
+func TestRunContextCancelMidRunStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from instrumentation once the run is underway: the executor
+	// must notice within ctxCheckMask+1 steps.
+	canceler := &cancelAtAccess{n: 100, cancel: cancel}
+	stats, err := NewExec(longProg(), Config{Inst: canceler}).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if stats.Steps == 0 {
+		t.Fatal("canceled before any step despite a live context at start")
+	}
+	if stats.Steps > 100+ctxCheckMask+1 {
+		t.Fatalf("ran %d steps after cancellation around step 100", stats.Steps)
+	}
+}
+
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	stats, err := NewExec(longProg(), Config{}).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps == 0 {
+		t.Fatal("no steps executed")
+	}
+}
+
+type cancelAtAccess struct {
+	NopInst
+	seen   uint64
+	n      uint64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAtAccess) Access(Access) {
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -153,8 +154,21 @@ func (e *Exec) TxMethod(t ThreadID) MethodID {
 	return e.threads[t].txMethod
 }
 
+// ctxCheckMask controls how often RunContext polls its context: every
+// (ctxCheckMask+1) steps, keeping the hot loop nearly free of context
+// overhead while still bounding cancellation latency.
+const ctxCheckMask = 255
+
 // Run executes the program to completion and returns execution statistics.
-func (e *Exec) Run() (*Stats, error) {
+func (e *Exec) Run() (*Stats, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run under a context: cancellation or an expired deadline
+// aborts the execution within ctxCheckMask+1 steps, surfacing the context's
+// error (errors.Is sees context.Canceled / context.DeadlineExceeded).
+func (e *Exec) RunContext(ctx context.Context) (*Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return &e.stats, fmt.Errorf("vm: aborted before start: %w", err)
+	}
 	e.inst.ProgramStart(e)
 	for _, td := range e.prog.Threads {
 		if td.AutoStart {
@@ -164,6 +178,11 @@ func (e *Exec) Run() (*Stats, error) {
 		}
 	}
 	for {
+		if e.step&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return &e.stats, fmt.Errorf("vm: aborted at step %d: %w", e.step, err)
+			}
+		}
 		run := e.collectRunnable()
 		if len(run) == 0 {
 			if e.allDone() {
