@@ -1,0 +1,26 @@
+// Command dctrace records and replays VM event-stream traces: `record`
+// executes a workload-language (.dcp) program once and captures every
+// instrumentation event into a compact .dct file; `info` describes trace
+// files; `replay` re-checks a trace through any analysis without
+// re-executing the program; and `diff` replays each trace through
+// DoubleChecker's single-run mode, Velodrome, and the ICD-only first run,
+// failing if the checkers disagree on the same interleaving. Replay and
+// diff shard multiple traces (or a directory of them) across a supervised
+// worker pool.
+package main
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"doublechecker/internal/cli"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := cli.DCTraceContext(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}

@@ -1,6 +1,7 @@
 package doublechecker_test
 
 import (
+	"bytes"
 	"fmt"
 
 	doublechecker "doublechecker"
@@ -52,6 +53,48 @@ thread main1
 	// Output:
 	// removed: [racy]
 	// atomic: [safe]
+}
+
+// ExampleRecordSource records one execution's event stream as a trace,
+// then re-checks the identical interleaving twice — through DoubleChecker
+// and through Velodrome — without ever re-executing the program.
+func ExampleRecordSource() {
+	src := `
+program counter
+object c
+atomic method bump {
+    read c.n
+    compute 6
+    write c.n
+}
+method main0 { loop 20 { call bump } }
+method main1 { loop 20 { call bump } }
+thread main0
+thread main1
+`
+	var buf bytes.Buffer
+	live, err := doublechecker.RecordSource(src, &buf, doublechecker.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("live:", live.BlamedMethods)
+
+	dc, err := doublechecker.CheckTrace(bytes.NewReader(buf.Bytes()), doublechecker.Options{})
+	if err != nil {
+		panic(err)
+	}
+	velo, err := doublechecker.CheckTrace(bytes.NewReader(buf.Bytes()), doublechecker.Options{
+		Mode: doublechecker.ModeVelodrome,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("replayed (doublechecker):", dc.BlamedMethods)
+	fmt.Println("replayed (velodrome):", velo.BlamedMethods)
+	// Output:
+	// live: [bump]
+	// replayed (doublechecker): [bump]
+	// replayed (velodrome): [bump]
 }
 
 // ExampleCheckSource_multiRun runs the paper's two-phase pipeline: cheap

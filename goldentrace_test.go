@@ -1,0 +1,193 @@
+package doublechecker_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	doublechecker "doublechecker"
+	"doublechecker/internal/core"
+	"doublechecker/internal/trace"
+)
+
+// goldenExpectation is one line of testdata/traces/expected.txt: the live
+// run's findings captured when the trace was recorded.
+type goldenExpectation struct {
+	dynamic int
+	blamed  []string
+}
+
+// loadGoldenExpectations parses expected.txt (`name dynamic=N blamed=[a b]`
+// per line, written by the recording run).
+func loadGoldenExpectations(t *testing.T) map[string]goldenExpectation {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "traces", "expected.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := make(map[string]goldenExpectation)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var exp goldenExpectation
+		rest := line
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			t.Fatalf("bad expectation line %q", line)
+		}
+		name = fields[0]
+		if _, err := fmt.Sscanf(fields[1], "dynamic=%d", &exp.dynamic); err != nil {
+			t.Fatalf("bad expectation line %q: %v", line, err)
+		}
+		open := strings.Index(fields[1], "blamed=[")
+		closeIdx := strings.LastIndex(fields[1], "]")
+		if open < 0 || closeIdx < open {
+			t.Fatalf("bad expectation line %q", line)
+		}
+		inner := fields[1][open+len("blamed=[") : closeIdx]
+		if inner != "" {
+			exp.blamed = strings.Fields(inner)
+		}
+		out[name] = exp
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no golden expectations")
+	}
+	return out
+}
+
+// TestGoldenTraces is the trace-format regression gate: every checked-in
+// trace must decode, and replaying it through single-run DoubleChecker must
+// reproduce the recording run's violations exactly — same dynamic count,
+// same blamed methods. A failure here means either the format or a
+// checker's semantics drifted from what the corpus froze.
+func TestGoldenTraces(t *testing.T) {
+	expected := loadGoldenExpectations(t)
+	paths, err := filepath.Glob(filepath.Join("testdata", "traces", "*.dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(expected) {
+		t.Fatalf("%d trace files vs %d expectations", len(paths), len(expected))
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".dct")
+		exp, ok := expected[name]
+		if !ok {
+			t.Errorf("%s: no expectation recorded", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			d, err := trace.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Complete {
+				t.Error("trace not complete")
+			}
+			res, err := core.RunTrace(context.Background(), d, core.Config{Analysis: core.DCSingle})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != exp.dynamic {
+				t.Errorf("dynamic violations = %d, recorded run found %d", len(res.Violations), exp.dynamic)
+			}
+			got := res.BlamedMethodNames(d.Header.Program)
+			if fmt.Sprint(got) != fmt.Sprint(exp.blamed) && !(len(got) == 0 && len(exp.blamed) == 0) {
+				t.Errorf("blamed = %v, recorded run blamed %v", got, exp.blamed)
+			}
+		})
+	}
+}
+
+// TestGoldenTracesPublicAPI replays the corpus through the public
+// CheckTrace entry point and asserts the same frozen findings.
+func TestGoldenTracesPublicAPI(t *testing.T) {
+	expected := loadGoldenExpectations(t)
+	for name, exp := range expected {
+		f, err := os.Open(filepath.Join("testdata", "traces", name+".dct"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := doublechecker.CheckTrace(f, doublechecker.Options{})
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(report.Violations) != exp.dynamic {
+			t.Errorf("%s: %d violations, want %d", name, len(report.Violations), exp.dynamic)
+		}
+		want := exp.blamed
+		if want == nil {
+			want = []string{}
+		}
+		if fmt.Sprint(report.BlamedMethods) != fmt.Sprint(want) {
+			t.Errorf("%s: blamed %v, want %v", name, report.BlamedMethods, want)
+		}
+	}
+}
+
+// TestTraceAPIValidation covers the public API's option checks: a trace is
+// one execution, so multi-trial and multi-run requests are rejected, and a
+// non-trace input fails with the typed error.
+func TestTraceAPIValidation(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "traces", "hsqldb6.dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doublechecker.CheckTrace(strings.NewReader(string(raw)), doublechecker.Options{
+		Mode: doublechecker.ModeMultiRun,
+	}); err == nil || !strings.Contains(err.Error(), "spans multiple executions") {
+		t.Errorf("multi-run replay: %v", err)
+	}
+	if _, err := doublechecker.CheckTrace(strings.NewReader(string(raw)), doublechecker.Options{
+		Trials: 3,
+	}); err == nil || !strings.Contains(err.Error(), "Trials") {
+		t.Errorf("Trials 3 replay: %v", err)
+	}
+	if _, err := doublechecker.CheckTrace(strings.NewReader("not a trace"), doublechecker.Options{}); err == nil {
+		t.Error("non-trace input accepted")
+	}
+	var sink strings.Builder
+	if _, err := doublechecker.RecordSource("program p\nobject o\nmethod m { read o.f }\nthread m\n",
+		&sink, doublechecker.Options{Trials: 2}); err == nil || !strings.Contains(err.Error(), "Trials") {
+		t.Errorf("Trials 2 record: %v", err)
+	}
+}
+
+// TestGoldenTracesCheckersAgree runs the differential driver over the whole
+// corpus: DoubleChecker's single-run mode and Velodrome must report the
+// same violations on every frozen interleaving, and nothing either blames
+// may escape ICD's over-approximation.
+func TestGoldenTracesCheckersAgree(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "traces", "*.dct"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corpus missing: %v", err)
+	}
+	for _, path := range paths {
+		d, err := trace.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := core.DiffTrace(context.Background(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !td.Agree() {
+			t.Errorf("%s: %s\n  dc: %v\n  velo: %v\n  icd-missed: %v",
+				path, td.Summary(), td.DCViolations, td.VeloViolations, td.ICDMissed)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
@@ -19,6 +21,8 @@ func DCGen(args []string, stdout, stderr io.Writer) int {
 	var (
 		list  = fs.Bool("list", false, "list available benchmarks")
 		scale = fs.Float64("scale", 0.2, "workload scale factor")
+		all   = fs.Bool("all", false, "emit every built-in benchmark (requires -out)")
+		out   = fs.String("out", "", "with -all: directory to write <benchmark>.dcp files into")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -30,24 +34,66 @@ func DCGen(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *all {
+		if *out == "" || fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: dcgen -all -out <dir> [-scale S]")
+			return 2
+		}
+		if err := dcgenAll(*out, *scale, stdout); err != nil {
+			fmt.Fprintln(stderr, "dcgen:", err)
+			return 1
+		}
+		return 0
+	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: dcgen [-scale S] <benchmark>   (or dcgen -list)")
+		fmt.Fprintln(stderr, "usage: dcgen [-scale S] <benchmark>   (or dcgen -list, or dcgen -all -out <dir>)")
 		return 2
 	}
-	built, err := workloads.Build(fs.Arg(0), *scale)
+	src, err := dcgenSource(fs.Arg(0), *scale)
 	if err != nil {
 		fmt.Fprintln(stderr, "dcgen:", err)
 		return 1
 	}
-	// The dumped `atomic` markers reflect the paper-style initial
-	// specification (minus the benchmark's documented exclusions), so
-	// `dcheck file.dcp` checks the same thing the harness does.
+	fmt.Fprint(stdout, src)
+	return 0
+}
+
+// dcgenSource renders one benchmark as workload-language source. The dumped
+// `atomic` markers reflect the paper-style initial specification (minus the
+// benchmark's documented exclusions), so `dcheck file.dcp` checks the same
+// thing the harness does.
+func dcgenSource(name string, scale float64) (string, error) {
+	built, err := workloads.Build(name, scale)
+	if err != nil {
+		return "", err
+	}
 	s := spec.Initial(built.Prog)
 	if err := s.ExcludeByName(built.InitialExclusions...); err != nil {
-		fmt.Fprintln(stderr, "dcgen:", err)
-		return 1
+		return "", err
 	}
 	f := lang.FromProgram(built.Prog, func(m vm.MethodID) bool { return s.Atomic(m) })
-	fmt.Fprint(stdout, lang.Print(f))
-	return 0
+	return lang.Print(f), nil
+}
+
+// dcgenAll writes every built-in benchmark into dir as <name>.dcp — one
+// invocation produces the whole suite, which is how the golden-trace corpus
+// is (re)built.
+func dcgenAll(dir string, scale float64, stdout io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := workloads.All()
+	for _, name := range names {
+		src, err := dcgenSource(name, scale)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name+".dcp")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	fmt.Fprintf(stdout, "%d benchmarks at scale %g\n", len(names), scale)
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
 	"doublechecker/internal/supervise"
+	"doublechecker/internal/trace"
 	"doublechecker/internal/vm"
 )
 
@@ -47,12 +48,15 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		trialTimeout = fs.Duration("trial-timeout", 0, "wall-clock budget per trial (0: unbounded)")
 		maxSteps     = fs.Uint64("max-steps", 0, "step budget per execution (0: VM default)")
 		retries      = fs.Int("retries", 1, "extra attempts (rotated seeds) after a deadlock or step-limit trial")
+
+		record = fs.String("record", "", "record the execution's event stream to this .dct trace file (requires -trials 1)")
+		replay = fs.Bool("replay", false, "treat the argument as a .dct trace and re-check it without executing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: dcheck [flags] program.dcp")
+		fmt.Fprintln(stderr, "usage: dcheck [flags] program.dcp   (or dcheck -replay [flags] trace.dct)")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -64,11 +68,20 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		fmt.Fprintf(stderr, "dcheck: -retries %d is negative\n", *retries)
 		return 2
 	}
+	if *record != "" && (*trials != 1 || *refine || *dot || *replay) {
+		fmt.Fprintln(stderr, "dcheck: -record needs -trials 1 and is incompatible with -refine, -dot and -replay")
+		return 2
+	}
+	if *replay && (*refine || *lint || *costly || *dot || *verbose) {
+		fmt.Fprintln(stderr, "dcheck: -replay is incompatible with -refine, -lint, -cost, -dot and -v")
+		return 2
+	}
 	err := runDCheck(ctx, dcheckOpts{
 		path: fs.Arg(0), analysis: *analysisName, seed: *seed, trials: *trials,
 		sticky: *sticky, refine: *refine, lintOnly: *lint, costly: *costly,
 		verbose: *verbose, dot: *dot,
 		trialTimeout: *trialTimeout, maxSteps: *maxSteps, retries: *retries,
+		record: *record, replay: *replay,
 	}, stdout, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "dcheck:", err)
@@ -87,9 +100,14 @@ type dcheckOpts struct {
 	trialTimeout                           time.Duration
 	maxSteps                               uint64
 	retries                                int
+	record                                 string
+	replay                                 bool
 }
 
 func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) error {
+	if o.replay {
+		return runDCheckReplay(ctx, o, stdout)
+	}
 	src, err := os.ReadFile(o.path)
 	if err != nil {
 		return err
@@ -134,6 +152,20 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 
 	if o.refine {
 		return runRefine(ctx, prog, sp, o, stdout)
+	}
+
+	if o.record != "" {
+		res, err := recordTrace(ctx, prog, sp, o.record, recordOpts{
+			analysis: analysis, seed: o.seed, sticky: o.sticky,
+			maxSteps: o.maxSteps, source: o.path,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "recorded %s: %d events (%s)\n",
+			o.record, res.VMStats.Events().Total(), res.VMStats.Events())
+		printViolationSummary(stdout, prog, res)
+		return nil
 	}
 
 	budget := supervise.Budget{TrialTimeout: o.trialTimeout, Retries: o.retries}
@@ -215,6 +247,39 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 	} else {
 		fmt.Fprintln(stdout, "no atomicity violations detected")
 	}
+	return nil
+}
+
+// printViolationSummary prints one result's violation count and blamed
+// methods in dcheck's usual format.
+func printViolationSummary(stdout io.Writer, prog *vm.Program, res *core.Result) {
+	fmt.Fprintf(stdout, "%d dynamic violations\n", len(res.Violations))
+	if names := res.BlamedMethodNames(prog); len(names) > 0 {
+		fmt.Fprintf(stdout, "blamed methods: %v\n", names)
+	} else {
+		fmt.Fprintln(stdout, "no atomicity violations detected")
+	}
+}
+
+// runDCheckReplay re-checks a recorded trace: the positional argument is a
+// .dct file and the analysis consumes its event stream with no VM.
+func runDCheckReplay(ctx context.Context, o dcheckOpts, stdout io.Writer) error {
+	analysis, err := core.ParseAnalysis(o.analysis)
+	if err != nil {
+		return err
+	}
+	d, err := trace.ReadFile(o.path)
+	if err != nil {
+		return err
+	}
+	h := &d.Header
+	fmt.Fprintf(stdout, "trace %s: program %s, seed %d, %d events, source %q\n",
+		o.path, h.Program.Name, h.Seed, d.Counts.Total(), h.Source)
+	res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis})
+	if err != nil {
+		return err
+	}
+	printViolationSummary(stdout, h.Program, res)
 	return nil
 }
 

@@ -191,6 +191,51 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 	}
 	res := &Result{Analysis: cfg.Analysis, BlamedMethods: make(map[vm.MethodID]bool)}
 
+	inst, collect, err := buildAnalysis(prog, cfg, res)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.WrapInst != nil {
+		inst = cfg.WrapInst(inst)
+	}
+	stats, err := vm.NewExec(prog, vm.Config{
+		Sched:    sched,
+		Inst:     inst,
+		Atomic:   cfg.Atomic,
+		Meter:    cfg.Meter,
+		MaxSteps: cfg.MaxSteps,
+	}).RunContext(ctx)
+	if stats != nil {
+		res.VMStats = *stats
+	}
+	if err != nil {
+		return res, err
+	}
+	collect()
+	finishResult(res, cfg)
+	return res, nil
+}
+
+// finishResult derives the cross-analysis summary fields after collect:
+// the union of blamed methods and the meter's report.
+func finishResult(res *Result, cfg Config) {
+	for _, v := range res.Violations {
+		for _, m := range v.BlamedMethods {
+			res.BlamedMethods[m] = true
+		}
+	}
+	if cfg.Meter != nil {
+		res.Cost = cfg.Meter.Report()
+	}
+}
+
+// buildAnalysis assembles the checker configuration selected by cfg into an
+// instrumentation plus a collect closure that harvests its findings into
+// res once the event stream ends. It is shared by the live execution path
+// (RunContext) and the trace replay path (RunTrace): both drive the same
+// instrumentation, one from a VM, one from a file.
+func buildAnalysis(prog *vm.Program, cfg Config, res *Result) (vm.Instrumentation, func(), error) {
 	var inst vm.Instrumentation
 	var collect func()
 
@@ -276,35 +321,10 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 		}
 
 	default:
-		return nil, fmt.Errorf("core: unknown analysis %v", cfg.Analysis)
+		return nil, nil, fmt.Errorf("core: unknown analysis %v", cfg.Analysis)
 	}
 
-	if cfg.WrapInst != nil {
-		inst = cfg.WrapInst(inst)
-	}
-	stats, err := vm.NewExec(prog, vm.Config{
-		Sched:    sched,
-		Inst:     inst,
-		Atomic:   cfg.Atomic,
-		Meter:    cfg.Meter,
-		MaxSteps: cfg.MaxSteps,
-	}).RunContext(ctx)
-	if stats != nil {
-		res.VMStats = *stats
-	}
-	if err != nil {
-		return res, err
-	}
-	collect()
-	for _, v := range res.Violations {
-		for _, m := range v.BlamedMethods {
-			res.BlamedMethods[m] = true
-		}
-	}
-	if cfg.Meter != nil {
-		res.Cost = cfg.Meter.Report()
-	}
-	return res, nil
+	return inst, collect, nil
 }
 
 // UnionFilter merges the static transaction information of several first

@@ -69,10 +69,10 @@ func (i *inst) panicNow() {
 	panic(msg)
 }
 
-func (i *inst) ProgramStart(e *vm.Exec)   { i.inner.ProgramStart(e) }
-func (i *inst) ThreadStart(t vm.ThreadID) { i.inner.ThreadStart(t) }
-func (i *inst) ThreadExit(t vm.ThreadID)  { i.inner.ThreadExit(t) }
-func (i *inst) ProgramEnd()               { i.inner.ProgramEnd() }
+func (i *inst) ProgramStart(e vm.ExecView) { i.inner.ProgramStart(e) }
+func (i *inst) ThreadStart(t vm.ThreadID)  { i.inner.ThreadStart(t) }
+func (i *inst) ThreadExit(t vm.ThreadID)   { i.inner.ThreadExit(t) }
+func (i *inst) ProgramEnd()                { i.inner.ProgramEnd() }
 
 func (i *inst) TxBegin(t vm.ThreadID, m vm.MethodID) { i.inner.TxBegin(t, m) }
 

@@ -97,7 +97,7 @@ type Checker struct {
 	gLastRdSh *txn.Txn
 
 	skipping map[vm.ThreadID]bool
-	exec     *vm.Exec
+	exec     vm.ExecView
 
 	// sccMethods accumulates the static transaction information multi-run
 	// mode's first run passes to the second run: the starting methods of
@@ -161,7 +161,7 @@ func (c *Checker) StaticInfo() (map[vm.MethodID]int, bool) {
 }
 
 // ProgramStart implements vm.Instrumentation.
-func (c *Checker) ProgramStart(e *vm.Exec) {
+func (c *Checker) ProgramStart(e vm.ExecView) {
 	c.exec = e
 	c.mgr = txn.NewManager(c.opts.Logging, e.Now, c.meter)
 	c.configureManager()

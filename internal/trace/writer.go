@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"doublechecker/internal/vm"
+)
+
+// Writer encodes a trace onto an io.Writer: header at construction, events
+// as they are appended (buffered into CRC-framed chunks), end marker and
+// counts trailer at Close. Errors are sticky — the first write error fails
+// every later call and is returned by Close.
+type Writer struct {
+	out     io.Writer
+	hdr     Header
+	ev      buf
+	lastSeq uint64
+	counts  vm.EventCounts
+	err     error
+	closed  bool
+}
+
+// NewWriter writes the magic, version, and header, and returns a Writer
+// ready for events. The header's Version, ProgramDigest and SpecDigest
+// fields are filled in (computed from the encodings); Atomic is sorted.
+func NewWriter(out io.Writer, hdr Header) (*Writer, error) {
+	if hdr.Program == nil {
+		return nil, fmt.Errorf("trace: NewWriter: header has no program")
+	}
+	if err := hdr.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: NewWriter: %w", err)
+	}
+	hdr.Version = Version
+	sort.Slice(hdr.Atomic, func(i, j int) bool { return hdr.Atomic[i] < hdr.Atomic[j] })
+	for _, m := range hdr.Atomic {
+		if int(m) < 0 || int(m) >= len(hdr.Program.Methods) {
+			return nil, fmt.Errorf("trace: NewWriter: atomic method %d out of range", m)
+		}
+	}
+
+	var prog buf
+	encodeProgram(&prog, hdr.Program)
+	var spec buf
+	spec.uvarint(uint64(len(hdr.Atomic)))
+	for _, m := range hdr.Atomic {
+		spec.uvarint(uint64(m))
+	}
+	hdr.ProgramDigest = digest64(prog.b)
+	hdr.SpecDigest = digest64(spec.b)
+
+	var payload buf
+	payload.uvarint(uint64(prog.len()))
+	payload.bytes(prog.b)
+	payload.bytes(spec.b)
+	payload.varint(hdr.Seed)
+	payload.string(hdr.Sched)
+	payload.string(hdr.Source)
+	payload.uvarint(hdr.ProgramDigest)
+	payload.uvarint(hdr.SpecDigest)
+
+	w := &Writer{out: out, hdr: hdr}
+	if _, err := out.Write([]byte(Magic)); err != nil {
+		return nil, err
+	}
+	var ver buf
+	ver.uvarint(Version)
+	if _, err := out.Write(ver.b); err != nil {
+		return nil, err
+	}
+	if err := writeChunk(out, payload.b); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Header returns the header as written (digests filled in).
+func (w *Writer) Header() Header { return w.hdr }
+
+// Counts returns the per-kind tally of the events written so far.
+func (w *Writer) Counts() vm.EventCounts { return w.counts }
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) flush() {
+	if w.err != nil || w.ev.len() == 0 {
+		return
+	}
+	w.err = writeChunk(w.out, w.ev.b)
+	w.ev.reset()
+}
+
+func (w *Writer) maybeFlush() {
+	if w.ev.len() >= chunkTarget {
+		w.flush()
+	}
+}
+
+// ThreadStart appends a thread-start event.
+func (w *Writer) ThreadStart(t vm.ThreadID) {
+	w.counts.ThreadStarts++
+	w.ev.byte(opThreadStart)
+	w.ev.uvarint(uint64(t))
+	w.maybeFlush()
+}
+
+// ThreadExit appends a thread-exit event.
+func (w *Writer) ThreadExit(t vm.ThreadID) {
+	w.counts.ThreadExits++
+	w.ev.byte(opThreadExit)
+	w.ev.uvarint(uint64(t))
+	w.maybeFlush()
+}
+
+// TxBegin appends a transaction-begin event.
+func (w *Writer) TxBegin(t vm.ThreadID, m vm.MethodID) {
+	w.counts.TxBegins++
+	w.ev.byte(opTxBegin)
+	w.ev.uvarint(uint64(t))
+	w.ev.uvarint(uint64(m))
+	w.maybeFlush()
+}
+
+// TxEnd appends a transaction-end event.
+func (w *Writer) TxEnd(t vm.ThreadID, m vm.MethodID) {
+	w.counts.TxEnds++
+	w.ev.byte(opTxEnd)
+	w.ev.uvarint(uint64(t))
+	w.ev.uvarint(uint64(m))
+	w.maybeFlush()
+}
+
+// Access appends an access event; the clock is stored as a delta from the
+// previous access.
+func (w *Writer) Access(a vm.Access) {
+	switch a.Class {
+	case vm.ClassField:
+		w.counts.FieldAccesses++
+	case vm.ClassArray:
+		w.counts.ArrayAccesses++
+	case vm.ClassSync:
+		w.counts.SyncAccesses++
+	}
+	op := opAccessBase | byte(a.Class)<<1
+	if a.Write {
+		op |= 1
+	}
+	w.ev.byte(op)
+	w.ev.uvarint(uint64(a.Thread))
+	w.ev.uvarint(uint64(a.Obj))
+	w.ev.uvarint(uint64(a.Field))
+	w.ev.uvarint(a.Seq - w.lastSeq)
+	w.lastSeq = a.Seq
+	w.maybeFlush()
+}
+
+// BlockedSet appends a blocked-set event: ts is the complete new set of
+// blocked threads.
+func (w *Writer) BlockedSet(ts []vm.ThreadID) {
+	w.ev.byte(opBlockedSet)
+	w.ev.uvarint(uint64(len(ts)))
+	for _, t := range ts {
+		w.ev.uvarint(uint64(t))
+	}
+	w.maybeFlush()
+}
+
+// ProgramEnd appends the program-end event, marking a complete execution.
+func (w *Writer) ProgramEnd() {
+	w.ev.byte(opProgramEnd)
+	w.maybeFlush()
+}
+
+// Close flushes buffered events and writes the end marker and the counts
+// trailer. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	w.flush()
+	if w.err != nil {
+		return w.err
+	}
+	if w.err = writeEndMarker(w.out); w.err != nil {
+		return w.err
+	}
+	var trailer buf
+	encodeCounts(&trailer, w.counts)
+	w.err = writeChunk(w.out, trailer.b)
+	return w.err
+}
+
+// Recorder implements vm.Instrumentation as a tee: every event is written
+// to the trace and forwarded to the wrapped downstream instrumentation, so
+// a single execution both checks and records. Before each event it queries
+// the execution's blocked set and records a blocked-set event whenever it
+// changed — that is what lets a replayer answer Octet's Blocked queries
+// exactly as the live executor did.
+type Recorder struct {
+	w     *Writer
+	inner vm.Instrumentation
+	view  vm.ExecView
+	// last is the most recently recorded blocked mask; threads start
+	// blocked (not yet started), matching the replayer's initial state.
+	last []bool
+}
+
+// NewRecorder returns a Recorder writing to w and forwarding to inner
+// (vm.NopInst{} for record-only runs).
+func NewRecorder(w *Writer, inner vm.Instrumentation) *Recorder {
+	if inner == nil {
+		inner = vm.NopInst{}
+	}
+	n := len(w.hdr.Program.Threads)
+	last := make([]bool, n)
+	for i := range last {
+		last[i] = true
+	}
+	return &Recorder{w: w, inner: inner, last: last}
+}
+
+// Counts returns the per-kind tally of recorded events, for completeness
+// assertions against vm.Stats.Events.
+func (r *Recorder) Counts() vm.EventCounts { return r.w.Counts() }
+
+// syncBlocked records a blocked-set event if the executor's blocked set
+// changed since the last recorded event.
+func (r *Recorder) syncBlocked() {
+	if r.view == nil {
+		return
+	}
+	changed := false
+	for t := range r.last {
+		if b := r.view.Blocked(vm.ThreadID(t)); b != r.last[t] {
+			r.last[t] = b
+			changed = true
+		}
+	}
+	if changed {
+		var set []vm.ThreadID
+		for t, b := range r.last {
+			if b {
+				set = append(set, vm.ThreadID(t))
+			}
+		}
+		r.w.BlockedSet(set)
+	}
+}
+
+// ProgramStart implements vm.Instrumentation.
+func (r *Recorder) ProgramStart(e vm.ExecView) {
+	r.view = e
+	r.inner.ProgramStart(e)
+}
+
+// ThreadStart implements vm.Instrumentation.
+func (r *Recorder) ThreadStart(t vm.ThreadID) {
+	r.syncBlocked()
+	r.w.ThreadStart(t)
+	r.inner.ThreadStart(t)
+}
+
+// ThreadExit implements vm.Instrumentation.
+func (r *Recorder) ThreadExit(t vm.ThreadID) {
+	r.syncBlocked()
+	r.w.ThreadExit(t)
+	r.inner.ThreadExit(t)
+}
+
+// TxBegin implements vm.Instrumentation.
+func (r *Recorder) TxBegin(t vm.ThreadID, m vm.MethodID) {
+	r.syncBlocked()
+	r.w.TxBegin(t, m)
+	r.inner.TxBegin(t, m)
+}
+
+// TxEnd implements vm.Instrumentation.
+func (r *Recorder) TxEnd(t vm.ThreadID, m vm.MethodID) {
+	r.syncBlocked()
+	r.w.TxEnd(t, m)
+	r.inner.TxEnd(t, m)
+}
+
+// Access implements vm.Instrumentation.
+func (r *Recorder) Access(a vm.Access) {
+	r.syncBlocked()
+	r.w.Access(a)
+	r.inner.Access(a)
+}
+
+// ProgramEnd implements vm.Instrumentation.
+func (r *Recorder) ProgramEnd() {
+	r.w.ProgramEnd()
+	r.inner.ProgramEnd()
+}

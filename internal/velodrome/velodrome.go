@@ -92,7 +92,7 @@ type Checker struct {
 	// transaction (filtered out by opts.Filter).
 	skipping map[vm.ThreadID]bool
 
-	exec       *vm.Exec
+	exec       vm.ExecView
 	violations []txn.Violation
 	stats      Stats
 	sinceGC    uint64
@@ -145,7 +145,7 @@ func (c *Checker) Stats() Stats { return c.stats }
 func (c *Checker) TxnStats() txn.Stats { return c.mgr.Stats() }
 
 // ProgramStart implements vm.Instrumentation.
-func (c *Checker) ProgramStart(e *vm.Exec) {
+func (c *Checker) ProgramStart(e vm.ExecView) {
 	c.exec = e
 	c.mgr = txn.NewManager(false, e.Now, c.meter)
 	c.attachIncremental()

@@ -49,14 +49,35 @@ func (a Access) String() string {
 	return fmt.Sprintf("t%d %s o%d.%d (%s, seq %d)", a.Thread, rw, a.Obj, a.Field, a.Class, a.Seq)
 }
 
+// ExecView is the read-only view of a running execution that checkers may
+// consult between events: the global access clock, thread blocked-ness (the
+// Octet coordination protocol chooses explicit vs implicit by it), and the
+// transactional context of a thread. The live executor (*Exec) implements
+// it directly; a trace replayer (internal/trace) reconstructs the same view
+// from the recorded event stream, which is what lets any checker run over a
+// file with no VM at all.
+type ExecView interface {
+	// Now returns the global access clock: the Seq of the most recent
+	// Access event (0 before the first).
+	Now() uint64
+	// Blocked reports whether thread t is currently blocked (waiting for a
+	// monitor, a join, or a notification) or not running at all.
+	Blocked(t ThreadID) bool
+	// InTx reports whether thread t is inside a regular transaction.
+	InTx(t ThreadID) bool
+	// TxMethod returns the method that began t's current regular
+	// transaction, or NoMethod.
+	TxMethod(t ThreadID) MethodID
+}
+
 // Instrumentation receives the execution's event stream. It is the Go
 // analogue of the barrier and transaction-demarcation instrumentation the
 // paper's compilers insert. Methods are invoked synchronously from the
 // executor's single-threaded step loop, so implementations need no locking.
 type Instrumentation interface {
-	// ProgramStart is invoked once before the first step, with the executor
-	// (for clock/blocked queries).
-	ProgramStart(e *Exec)
+	// ProgramStart is invoked once before the first step, with a view of
+	// the execution (for clock/blocked/transaction-context queries).
+	ProgramStart(e ExecView)
 	// ThreadStart is invoked when a thread becomes runnable for the first
 	// time, before any of its operations.
 	ThreadStart(t ThreadID)
@@ -81,7 +102,7 @@ type Instrumentation interface {
 type NopInst struct{}
 
 // ProgramStart implements Instrumentation.
-func (NopInst) ProgramStart(*Exec) {}
+func (NopInst) ProgramStart(ExecView) {}
 
 // ThreadStart implements Instrumentation.
 func (NopInst) ThreadStart(ThreadID) {}
@@ -105,7 +126,7 @@ func (NopInst) ProgramEnd() {}
 type MultiInst []Instrumentation
 
 // ProgramStart implements Instrumentation.
-func (m MultiInst) ProgramStart(e *Exec) {
+func (m MultiInst) ProgramStart(e ExecView) {
 	for _, i := range m {
 		i.ProgramStart(e)
 	}

@@ -1,0 +1,63 @@
+package vm
+
+import "testing"
+
+// tallyInst counts events the way a trace recorder does.
+type tallyInst struct {
+	NopInst
+	c EventCounts
+}
+
+func (ti *tallyInst) ThreadStart(ThreadID)       { ti.c.ThreadStarts++ }
+func (ti *tallyInst) ThreadExit(ThreadID)        { ti.c.ThreadExits++ }
+func (ti *tallyInst) TxBegin(ThreadID, MethodID) { ti.c.TxBegins++ }
+func (ti *tallyInst) TxEnd(ThreadID, MethodID)   { ti.c.TxEnds++ }
+func (ti *tallyInst) Access(a Access) {
+	switch a.Class {
+	case ClassField:
+		ti.c.FieldAccesses++
+	case ClassArray:
+		ti.c.ArrayAccesses++
+	case ClassSync:
+		ti.c.SyncAccesses++
+	}
+}
+
+// TestStatsEventsMatchEmittedEvents: the per-kind event counters in Stats
+// agree exactly with what instrumentation observes — the completeness
+// invariant trace recording asserts.
+func TestStatsEventsMatchEmittedEvents(t *testing.T) {
+	b := NewBuilder("p")
+	arr := b.Array(3)
+	lock := b.Object()
+	o := b.Object()
+	atomicM := b.Method("atomicM")
+	atomicM.Write(o, 0).ArrayRead(arr, 1)
+	worker := b.Method("worker")
+	worker.Acquire(lock).Read(o, 0).Release(lock).Call(atomicM)
+	b.Thread(worker)
+	b.Thread(worker)
+	prog := b.MustBuild()
+	atomicID := prog.MethodByName("atomicM").ID
+
+	ti := &tallyInst{}
+	st, err := NewExec(prog, Config{
+		Inst:   ti,
+		Atomic: func(m MethodID) bool { return m == atomicID },
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Events(); got != ti.c {
+		t.Errorf("stats.Events() = {%v}, instrumentation saw {%v}", got, ti.c)
+	}
+	if ti.c.ThreadStarts != 2 || ti.c.ThreadExits != 2 {
+		t.Errorf("thread lifecycle counts: %+v", ti.c)
+	}
+	if ti.c.TxBegins != ti.c.TxEnds || ti.c.TxBegins == 0 {
+		t.Errorf("tx counts unbalanced: %+v", ti.c)
+	}
+	if ti.c.Total() == 0 || ti.c.String() == "" {
+		t.Error("Total/String")
+	}
+}

@@ -86,6 +86,8 @@ type Exec struct {
 	runnable []ThreadID // scratch
 }
 
+var _ ExecView = (*Exec)(nil)
+
 // NewExec prepares an execution of prog.
 func NewExec(prog *Program, cfg Config) *Exec {
 	if cfg.Sched == nil {
@@ -246,6 +248,7 @@ func (e *Exec) startThread(t ThreadID) error {
 		return fmt.Errorf("vm: thread t%d started twice", t)
 	}
 	th.state = tsRunnable
+	e.stats.ThreadStarts++
 	e.inst.ThreadStart(t)
 	e.pushFrame(th, e.prog.Methods[e.prog.Threads[t].Entry])
 	e.emitAccess(t, e.prog.ThreadObject(t), 0, false, ClassSync)
@@ -281,6 +284,7 @@ func (e *Exec) unwind(th *thread) error {
 		if top.atomicEntered {
 			th.txDepth--
 			if th.txDepth == 0 {
+				e.stats.TxEnds++
 				e.inst.TxEnd(th.id, th.txMethod)
 				th.txMethod = NoMethod
 			}
@@ -289,6 +293,7 @@ func (e *Exec) unwind(th *thread) error {
 	}
 	// Thread exit: release-like write on the handle object orders joiners.
 	e.emitAccess(th.id, e.prog.ThreadObject(th.id), 0, true, ClassSync)
+	e.stats.ThreadExits++
 	e.inst.ThreadExit(th.id)
 	th.state = tsDone
 	for _, other := range e.threads {

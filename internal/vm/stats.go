@@ -12,6 +12,9 @@ type Stats struct {
 	ArrayAccesses uint64 // array element accesses
 	SyncAccesses  uint64 // synchronization operations surfaced as accesses
 	RegularTx     uint64 // regular (non-unary) transactions begun
+	TxEnds        uint64 // regular transactions ended (== RegularTx when the run completes)
+	ThreadStarts  uint64 // ThreadStart events emitted
+	ThreadExits   uint64 // ThreadExit events emitted
 	Calls         uint64
 	Forks         uint64
 	Waits         uint64
@@ -29,4 +32,44 @@ func (s *Stats) String() string {
 	return fmt.Sprintf("steps=%d accesses=%d (field=%d array=%d sync=%d) tx=%d forks=%d",
 		s.Steps, s.TotalAccesses(), s.FieldAccesses, s.ArrayAccesses, s.SyncAccesses,
 		s.RegularTx, s.Forks)
+}
+
+// EventCounts tallies, per kind, the instrumentation events an execution
+// emitted. A trace recorder keeps the same tally for the events it wrote,
+// so recorder completeness is assertable: recorded events == emitted events.
+type EventCounts struct {
+	ThreadStarts  uint64
+	ThreadExits   uint64
+	TxBegins      uint64
+	TxEnds        uint64
+	FieldAccesses uint64
+	ArrayAccesses uint64
+	SyncAccesses  uint64
+}
+
+// Total returns the number of events across all kinds (ProgramStart and
+// ProgramEnd, which occur at most once, are not counted).
+func (c EventCounts) Total() uint64 {
+	return c.ThreadStarts + c.ThreadExits + c.TxBegins + c.TxEnds +
+		c.FieldAccesses + c.ArrayAccesses + c.SyncAccesses
+}
+
+func (c EventCounts) String() string {
+	return fmt.Sprintf("threads=%d/%d tx=%d/%d accesses(field=%d array=%d sync=%d)",
+		c.ThreadStarts, c.ThreadExits, c.TxBegins, c.TxEnds,
+		c.FieldAccesses, c.ArrayAccesses, c.SyncAccesses)
+}
+
+// Events returns the per-kind tally of instrumentation events this
+// execution emitted.
+func (s *Stats) Events() EventCounts {
+	return EventCounts{
+		ThreadStarts:  s.ThreadStarts,
+		ThreadExits:   s.ThreadExits,
+		TxBegins:      s.RegularTx,
+		TxEnds:        s.TxEnds,
+		FieldAccesses: s.FieldAccesses,
+		ArrayAccesses: s.ArrayAccesses,
+		SyncAccesses:  s.SyncAccesses,
+	}
 }

@@ -155,7 +155,7 @@ type probeCtx struct {
 	curMeth []MethodID
 }
 
-func (p *probeCtx) ProgramStart(e *Exec) { p.e = e }
+func (p *probeCtx) ProgramStart(e ExecView) { p.e = e.(*Exec) }
 func (p *probeCtx) Access(Access) {
 	p.inTx = append(p.inTx, p.e.InTx(0))
 	p.txMeth = append(p.txMeth, p.e.TxMethod(0))

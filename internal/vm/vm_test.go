@@ -569,8 +569,8 @@ type probeInst struct {
 	check func(*Exec)
 }
 
-func (p *probeInst) ProgramStart(e *Exec) { p.e = e }
-func (p *probeInst) Access(Access)        { p.check(p.e) }
+func (p *probeInst) ProgramStart(e ExecView) { p.e = e.(*Exec) }
+func (p *probeInst) Access(Access)           { p.check(p.e) }
 
 func TestOpStrings(t *testing.T) {
 	ops := []Op{
