@@ -33,6 +33,7 @@ package doublechecker
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -43,6 +44,7 @@ import (
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
 	"doublechecker/internal/supervise"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/vm"
 )
 
@@ -113,6 +115,11 @@ type Options struct {
 	// the scheduler seed of that particular run (trial seed, or first-run
 	// seed for ModeMultiRun's first runs).
 	inject func(analysis core.Analysis, seed int64, cfg *core.Config)
+
+	// telemetry is the check-wide metric registry, created by
+	// CheckUnitContext and shared by every run and the supervisor; its
+	// deterministic snapshot becomes Report.Telemetry.
+	telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -169,7 +176,7 @@ func (o Options) validate() error {
 
 // budget derives the supervision budget from the options.
 func (o Options) budget() supervise.Budget {
-	return supervise.Budget{TrialTimeout: o.TrialTimeout, Retries: o.Retries}
+	return supervise.Budget{TrialTimeout: o.TrialTimeout, Retries: o.Retries, Telemetry: o.telemetry}
 }
 
 // Violation is one detected conflict-serializability violation.
@@ -242,6 +249,14 @@ type Report struct {
 	Failures []TrialFailure
 	// Downgrades records the single-run → multi-run fallbacks taken.
 	Downgrades []Downgrade
+
+	// Telemetry is the check's machine-readable metric snapshot — the
+	// cumulative pipeline counters, histograms, and phase spans across every
+	// trial, as indented JSON with nondeterministic fields (span wall times)
+	// stripped: checking the same program with the same options twice yields
+	// byte-identical bytes. It is raw JSON so callers can embed or forward
+	// it without depending on internal types.
+	Telemetry json.RawMessage
 }
 
 // recordFailures converts supervised failures into public records.
@@ -297,6 +312,9 @@ func CheckUnitContext(ctx context.Context, unit *lang.Unit, opts Options) (*Repo
 		Program:       prog.Name,
 		AtomicMethods: sp.Size(),
 	}
+	if opts.telemetry == nil {
+		opts.telemetry = telemetry.NewRegistry()
+	}
 	budget := opts.budget()
 	blamed := map[string]bool{}
 	var trialErrs []error
@@ -318,6 +336,7 @@ func CheckUnitContext(ctx context.Context, unit *lang.Unit, opts Options) (*Repo
 				Seed: out.Seed, From: ModeSingleRun, To: ModeMultiRun,
 				Reason: "analysis memory budget exceeded",
 			})
+			opts.telemetry.Counter(telemetry.SuperviseDowngrades).Inc()
 			fallback := opts
 			fallback.Mode = ModeMultiRun
 			out, err = supervise.Trial(ctx, budget, string(ModeMultiRun)+" (downgrade)", out.Seed,
@@ -351,6 +370,7 @@ func CheckUnitContext(ctx context.Context, unit *lang.Unit, opts Options) (*Repo
 	if opts.Trials > 0 && report.CompletedTrials == 0 {
 		return nil, fmt.Errorf("doublechecker: all %d trials failed: %w", opts.Trials, errors.Join(trialErrs...))
 	}
+	report.Telemetry = json.RawMessage(opts.telemetry.Snapshot().Deterministic().JSON())
 	return report, nil
 }
 
@@ -443,10 +463,11 @@ type trialOutcome struct {
 func runMode(ctx context.Context, prog *vm.Program, sp *spec.Spec, seed int64, opts Options) (trialOutcome, error) {
 	newCfg := func(analysis core.Analysis, schedSeed int64) core.Config {
 		cfg := core.Config{
-			Analysis: analysis,
-			Sched:    vm.NewSticky(schedSeed, opts.Stickiness),
-			Atomic:   sp.Atomic,
-			MaxSteps: opts.MaxSteps,
+			Analysis:  analysis,
+			Sched:     vm.NewSticky(schedSeed, opts.Stickiness),
+			Atomic:    sp.Atomic,
+			MaxSteps:  opts.MaxSteps,
+			Telemetry: opts.telemetry,
 		}
 		if opts.MemoryBudget > 0 {
 			cfg.Meter = cost.NewMeter(cost.Default())

@@ -27,7 +27,7 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 	fs.SetOutput(stderr)
 	var (
 		experiment = fs.String("experiment", "all",
-			"one of: table2, fig7, table3, refine-overhead, arrays, ablations, filter-precision, pcd-only, all")
+			"one of: table2, fig7, table3, refine-overhead, arrays, ablations, filter-precision, pcd-only, telemetry, all")
 		scale      = fs.Float64("scale", 0.5, "workload scale factor")
 		trials     = fs.Int("trials", 5, "performance trials per configuration")
 		stable     = fs.Int("stable", 4, "consecutive quiet trials ending refinement (paper: 10)")
@@ -35,6 +35,7 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 		benchmarks = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 		csvDir     = fs.String("csv", "", "also write machine-readable CSVs into this directory")
 		budget     = fs.Int64("budget-kb", 0, "model a heap limit: flag Figure 7 rows whose live analysis bytes exceed this (KiB)")
+		telOut     = fs.String("telemetry-out", "BENCH_telemetry.json", "output path for the telemetry experiment's JSON dump")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,14 +56,14 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 			return 1
 		}
 	}
-	if code := runExperiments(ctx, *experiment, *csvDir, eval.NewRunner(opts), stdout, stderr); code != 0 {
+	if code := runExperiments(ctx, *experiment, *csvDir, *telOut, eval.NewRunner(opts), stdout, stderr); code != 0 {
 		return code
 	}
 	return 0
 }
 
 // runExperiments dispatches the experiment set; split out for testing.
-func runExperiments(ctx context.Context, experiment, csvDir string, runner *eval.Runner, stdout, stderr io.Writer) int {
+func runExperiments(ctx context.Context, experiment, csvDir, telOut string, runner *eval.Runner, stdout, stderr io.Writer) int {
 	writeCSV := func(name, content string) bool {
 		if csvDir == "" {
 			return true
@@ -183,6 +184,20 @@ func runExperiments(ctx context.Context, experiment, csvDir string, runner *eval
 				return "", err
 			}
 			return d.RenderPCDOnly(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "telemetry") {
+		ok = run("telemetry", func() (string, error) {
+			d, err := runner.Telemetry()
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(telOut, d.JSON(), 0o644); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(stdout, "[wrote %s]\n", telOut)
+			return d.RenderTelemetry(), nil
 		})
 		ran = true
 	}

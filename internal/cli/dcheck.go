@@ -17,6 +17,7 @@ import (
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
 	"doublechecker/internal/supervise"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/trace"
 	"doublechecker/internal/vm"
 )
@@ -51,6 +52,9 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 
 		record = fs.String("record", "", "record the execution's event stream to this .dct trace file (requires -trials 1)")
 		replay = fs.Bool("replay", false, "treat the argument as a .dct trace and re-check it without executing")
+
+		statsJSON   = fs.Bool("stats-json", false, "print the run's telemetry snapshot as JSON (deterministic: span wall times stripped)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the check runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +86,7 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		verbose: *verbose, dot: *dot,
 		trialTimeout: *trialTimeout, maxSteps: *maxSteps, retries: *retries,
 		record: *record, replay: *replay,
+		statsJSON: *statsJSON, metricsAddr: *metricsAddr,
 	}, stdout, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "dcheck:", err)
@@ -102,11 +107,24 @@ type dcheckOpts struct {
 	retries                                int
 	record                                 string
 	replay                                 bool
+	statsJSON                              bool
+	metricsAddr                            string
 }
 
 func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) error {
+	// One registry for the whole invocation: every trial (and the replay
+	// path) accumulates into it, -metrics-addr serves it live, and
+	// -stats-json prints its deterministic snapshot at the end.
+	reg := telemetry.NewRegistry()
+	if o.metricsAddr != "" {
+		stop, err := serveMetrics(o.metricsAddr, reg, stderr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	if o.replay {
-		return runDCheckReplay(ctx, o, stdout)
+		return runDCheckReplay(ctx, o, reg, stdout)
 	}
 	src, err := os.ReadFile(o.path)
 	if err != nil {
@@ -168,7 +186,7 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 		return nil
 	}
 
-	budget := supervise.Budget{TrialTimeout: o.trialTimeout, Retries: o.retries}
+	budget := supervise.Budget{TrialTimeout: o.trialTimeout, Retries: o.retries, Telemetry: reg}
 	blamed := make(map[string]bool)
 	totalViolations := 0
 	completed := 0
@@ -191,11 +209,12 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 		out, err := supervise.Trial(ctx, budget, o.analysis, s,
 			func(ctx context.Context, seed int64) (*core.Result, error) {
 				return core.RunContext(ctx, prog, core.Config{
-					Analysis: analysis,
-					Sched:    vm.NewSticky(seed, o.sticky),
-					Atomic:   sp.Atomic,
-					Meter:    meter,
-					MaxSteps: o.maxSteps,
+					Analysis:  analysis,
+					Sched:     vm.NewSticky(seed, o.sticky),
+					Atomic:    sp.Atomic,
+					Meter:     meter,
+					MaxSteps:  o.maxSteps,
+					Telemetry: reg,
 				})
 			})
 		if err != nil {
@@ -247,6 +266,9 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 	} else {
 		fmt.Fprintln(stdout, "no atomicity violations detected")
 	}
+	if o.statsJSON {
+		stdout.Write(reg.Snapshot().Deterministic().JSON())
+	}
 	return nil
 }
 
@@ -263,7 +285,7 @@ func printViolationSummary(stdout io.Writer, prog *vm.Program, res *core.Result)
 
 // runDCheckReplay re-checks a recorded trace: the positional argument is a
 // .dct file and the analysis consumes its event stream with no VM.
-func runDCheckReplay(ctx context.Context, o dcheckOpts, stdout io.Writer) error {
+func runDCheckReplay(ctx context.Context, o dcheckOpts, reg *telemetry.Registry, stdout io.Writer) error {
 	analysis, err := core.ParseAnalysis(o.analysis)
 	if err != nil {
 		return err
@@ -275,11 +297,14 @@ func runDCheckReplay(ctx context.Context, o dcheckOpts, stdout io.Writer) error 
 	h := &d.Header
 	fmt.Fprintf(stdout, "trace %s: program %s, seed %d, %d events, source %q\n",
 		o.path, h.Program.Name, h.Seed, d.Counts.Total(), h.Source)
-	res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis})
+	res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, Telemetry: reg})
 	if err != nil {
 		return err
 	}
 	printViolationSummary(stdout, h.Program, res)
+	if o.statsJSON {
+		stdout.Write(res.Telemetry.Deterministic().JSON())
+	}
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
 	"doublechecker/internal/supervise"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/trace"
 	"doublechecker/internal/vm"
 )
@@ -394,6 +395,7 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 		analysisName = fs.String("analysis", "dc-single", "checker to replay the trace through")
 		workers      = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
 		timeout      = fs.Duration("trace-timeout", 0, "wall-clock budget per trace (0: unbounded)")
+		statsJSON    = fs.Bool("stats-json", false, "print each trace's telemetry snapshot as JSON (deterministic: span wall times stripped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
@@ -427,6 +429,9 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 				fmt.Fprintf(&b, ", blamed %v", names)
 			}
 			b.WriteString("\n")
+			if *statsJSON {
+				b.Write(res.Telemetry.Deterministic().JSON())
+			}
 			return b.String(), false, nil
 		}, stdout, stderr)
 }
@@ -477,7 +482,41 @@ func dctraceDiff(ctx context.Context, args []string, stdout, stderr io.Writer) e
 				if len(td.ICDMissed) > 0 {
 					fmt.Fprintf(&b, "  blamed but missed by ICD: %v\n", td.ICDMissed)
 				}
+				// Per-checker pipeline metrics, so the disagreement can be
+				// localized to a stage (edge recording, SCC detection, replay).
+				fmt.Fprintf(&b, "  dc-single telemetry: %s\n", pipelineCounters(td.DCTelemetry))
+				fmt.Fprintf(&b, "  velodrome telemetry: %s\n", pipelineCounters(td.VeloTelemetry))
+				fmt.Fprintf(&b, "  dc-first telemetry:  %s\n", pipelineCounters(td.FirstTelemetry))
 			}
 			return b.String(), !td.Agree(), nil
 		}, stdout, stderr)
+}
+
+// pipelineCounters renders a snapshot's nonzero checker counters (Octet
+// transitions, IDG/SCC, PCD, Velodrome) as a stable one-line summary.
+func pipelineCounters(s *telemetry.Snapshot) string {
+	if s == nil {
+		return "(none)"
+	}
+	names := make([]string, 0, len(s.Counters))
+	for n, v := range s.Counters {
+		if v == 0 {
+			continue
+		}
+		for _, prefix := range []string{"octet.", "icd.", "pcd.", "velo."} {
+			if strings.HasPrefix(n, prefix) {
+				names = append(names, n)
+				break
+			}
+		}
+	}
+	if len(names) == 0 {
+		return "(none)"
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, s.Counters[n])
+	}
+	return strings.Join(parts, " ")
 }

@@ -1,0 +1,26 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"doublechecker/internal/telemetry"
+)
+
+// serveMetrics exposes a registry over HTTP for the duration of a CLI run:
+// /metrics in Prometheus text format, /debug/vars (expvar), and the standard
+// /debug/pprof profiles, all on one mux (telemetry.NewMux). It returns a
+// stop function; the caller defers it so the endpoint lives exactly as long
+// as the invocation.
+func serveMetrics(addr string, reg *telemetry.Registry, stderr io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: reg.NewMux()}
+	go srv.Serve(ln)
+	fmt.Fprintf(stderr, "serving /metrics, /debug/vars and /debug/pprof on http://%s\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}

@@ -1,0 +1,145 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doublechecker/internal/telemetry"
+)
+
+func TestDCheckStatsJSON(t *testing.T) {
+	path := writeProgram(t, racyDCP)
+	var out, errb bytes.Buffer
+	if code := DCheck([]string{"-trials", "4", "-stats-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{`"counters"`, `"vm.tx.regular"`, `"octet.transitions.fast_path"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %s:\n%s", want, s)
+		}
+	}
+	// The snapshot is the trailing JSON object; it must parse.
+	idx := strings.Index(s, "{\n")
+	if idx < 0 {
+		t.Fatalf("no JSON object in output:\n%s", s)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(s[idx:]), &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v\n%s", err, s[idx:])
+	}
+	if snap.Counters["vm.tx.regular"] == 0 {
+		t.Errorf("no regular transactions counted: %+v", snap.Counters)
+	}
+}
+
+func TestDCTraceReplayStatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := recordRacyTrace(t, dir)
+	var out, errb bytes.Buffer
+	if code := DCTrace([]string{"replay", "-stats-json", tracePath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, `"counters"`) || !strings.Contains(s, `"icd.scc.count"`) {
+		t.Errorf("replay stats missing:\n%s", s)
+	}
+	if strings.Contains(s, `"wall_ns"`) {
+		t.Errorf("replay stats are not deterministic (wall_ns present):\n%s", s)
+	}
+
+	// Two replays of the same trace print byte-identical telemetry.
+	var out2 bytes.Buffer
+	if code := DCTrace([]string{"replay", "-stats-json", tracePath}, &out2, &errb); code != 0 {
+		t.Fatalf("second replay exit %d: %s", code, errb.String())
+	}
+	if out.String() != out2.String() {
+		t.Errorf("replay outputs differ:\n%s\nvs\n%s", out.String(), out2.String())
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("octet.transitions.fast_path").Add(3)
+	var errb bytes.Buffer
+	stop, err := serveMetrics("127.0.0.1:0", reg, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	msg := errb.String()
+	addr := msg[strings.Index(msg, "http://"):]
+	addr = strings.TrimSpace(addr)
+
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "dc_octet_transitions_fast_path 3") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	resp, err = http.Get(addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars status %d", resp.StatusCode)
+	}
+}
+
+func TestDCBenchTelemetry(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
+	run := func() []byte {
+		var out, errb bytes.Buffer
+		code := DCBench([]string{
+			"-experiment", "telemetry", "-scale", "0.2",
+			"-benchmarks", "philo,tsp", "-telemetry-out", outPath,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		if !strings.Contains(out.String(), "Telemetry (dc-single") {
+			t.Errorf("summary missing:\n%s", out.String())
+		}
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := run()
+	var dump struct {
+		Benchmarks []struct {
+			Name     string              `json:"benchmark"`
+			Snapshot *telemetry.Snapshot `json:"telemetry"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(first, &dump); err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if len(dump.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(dump.Benchmarks))
+	}
+	for _, bm := range dump.Benchmarks {
+		if bm.Snapshot.Counter("vm.steps") == 0 {
+			t.Errorf("%s: no vm.steps recorded", bm.Name)
+		}
+	}
+	// Regenerating the dump is byte-identical.
+	if second := run(); !bytes.Equal(first, second) {
+		t.Error("telemetry dumps differ between runs")
+	}
+}

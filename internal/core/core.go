@@ -17,6 +17,7 @@ import (
 	"doublechecker/internal/cost"
 	"doublechecker/internal/icd"
 	"doublechecker/internal/pcd"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
 	"doublechecker/internal/velodrome"
 	"doublechecker/internal/vm"
@@ -132,6 +133,15 @@ type Config struct {
 	// internal/faultinject) and is also useful for passive observers; it
 	// must preserve the event stream it forwards.
 	WrapInst func(vm.Instrumentation) vm.Instrumentation
+
+	// Telemetry, if non-nil, receives every pipeline metric of the run: the
+	// Octet transition mix, IDG/SCC statistics, PCD replay counters, the
+	// Velodrome baseline's work, the phase spans, and the end-of-run VM and
+	// cost summaries. A shared registry accumulates across runs (that is how
+	// dcheck's -metrics-addr endpoint reports a whole session); when nil, a
+	// private registry is created per run so Result.Telemetry is always
+	// populated.
+	Telemetry *telemetry.Registry
 }
 
 // Result reports one checked execution.
@@ -162,6 +172,12 @@ type Result struct {
 	// OffCritical is the modelled cost moved off the program's critical
 	// path by ParallelPCD (zero otherwise).
 	OffCritical cost.Report
+
+	// Telemetry is the run's metric snapshot (never nil after a successful
+	// run). When Config.Telemetry was shared across runs the snapshot is
+	// cumulative; Snapshot.Deterministic strips the only nondeterministic
+	// fields (span wall times) for byte-stable comparison.
+	Telemetry *telemetry.Snapshot
 }
 
 // BlamedMethodNames resolves blamed methods against prog, sorted.
@@ -189,6 +205,9 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 	if cfg.Meter != nil && cfg.MemoryBudget > 0 {
 		cfg.Meter.SetBudget(cfg.MemoryBudget)
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	res := &Result{Analysis: cfg.Analysis, BlamedMethods: make(map[vm.MethodID]bool)}
 
 	inst, collect, err := buildAnalysis(prog, cfg, res)
@@ -199,6 +218,7 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 	if cfg.WrapInst != nil {
 		inst = cfg.WrapInst(inst)
 	}
+	span := cfg.Telemetry.StartSpan(telemetry.SpanExecute, cfg.Meter)
 	stats, err := vm.NewExec(prog, vm.Config{
 		Sched:    sched,
 		Inst:     inst,
@@ -206,10 +226,12 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 		Meter:    cfg.Meter,
 		MaxSteps: cfg.MaxSteps,
 	}).RunContext(ctx)
+	span.End()
 	if stats != nil {
 		res.VMStats = *stats
 	}
 	if err != nil {
+		res.Telemetry = cfg.Telemetry.Snapshot()
 		return res, err
 	}
 	collect()
@@ -218,7 +240,8 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 }
 
 // finishResult derives the cross-analysis summary fields after collect:
-// the union of blamed methods and the meter's report.
+// the union of blamed methods, the meter's report, and the telemetry
+// snapshot.
 func finishResult(res *Result, cfg Config) {
 	for _, v := range res.Violations {
 		for _, m := range v.BlamedMethods {
@@ -227,6 +250,36 @@ func finishResult(res *Result, cfg Config) {
 	}
 	if cfg.Meter != nil {
 		res.Cost = cfg.Meter.Report()
+	}
+	if cfg.Telemetry != nil {
+		publishRunTelemetry(cfg.Telemetry, res)
+		res.Telemetry = cfg.Telemetry.Snapshot()
+	}
+}
+
+// publishRunTelemetry pushes the end-of-run summary quantities into the
+// registry: the VM's ground-truth totals (counters: they accumulate when the
+// registry is shared across runs) and latest-run summary gauges (aborted
+// transactions, modelled cost, PCD's replayed-transaction fraction).
+func publishRunTelemetry(reg *telemetry.Registry, res *Result) {
+	s := &res.VMStats
+	reg.Counter(telemetry.VMSteps).Add(s.Steps)
+	reg.Counter(telemetry.VMFieldAccesses).Add(s.FieldAccesses)
+	reg.Counter(telemetry.VMArrayAccesses).Add(s.ArrayAccesses)
+	reg.Counter(telemetry.VMSyncAccesses).Add(s.SyncAccesses)
+	reg.Counter(telemetry.VMRegularTx).Add(s.RegularTx)
+	reg.Counter(telemetry.VMTxEnds).Add(s.TxEnds)
+	reg.Gauge(telemetry.VMAbortedTx).Set(float64(s.AbortedTx()))
+	reg.Gauge(telemetry.CostTotal).Set(float64(res.Cost.Total))
+	reg.Gauge(telemetry.CostGC).Set(float64(res.Cost.GC))
+	reg.Gauge(telemetry.CostPeak).Set(float64(res.Cost.PeakBytes))
+	if res.Cost.OOM {
+		reg.Gauge(telemetry.CostOOM).Set(1)
+	}
+	// Fraction of this run's transactions that ICD sent to PCD (distinct;
+	// SCCs can re-report members). In (0,1] whenever PCD replayed anything.
+	if denom := res.Txn.RegularTxns + res.Txn.UnaryTxns; denom > 0 && res.PCD.DistinctTxns > 0 {
+		reg.Gauge(telemetry.PCDTxFraction).Set(float64(res.PCD.DistinctTxns) / float64(denom))
 	}
 }
 
@@ -250,6 +303,7 @@ func buildAnalysis(prog *vm.Program, cfg Config, res *Result) (vm.Instrumentatio
 			InstrumentArrays:  cfg.InstrumentArrays,
 			GCPeriod:          cfg.GCPeriod,
 			IncrementalCycles: cfg.VelodromeIncremental,
+			Telemetry:         cfg.Telemetry,
 		}
 		if cfg.InstrumentArrays || cfg.DisableCycleDetection {
 			opts.DisableCycleDetection = true
@@ -268,7 +322,7 @@ func buildAnalysis(prog *vm.Program, cfg Config, res *Result) (vm.Instrumentatio
 	case DCSingle, DCFirst, DCSecond, PCDOnly:
 		var p *pcd.Checker
 		logging := cfg.Analysis != DCFirst
-		opts := icd.Options{Logging: logging, GCPeriod: cfg.GCPeriod}
+		opts := icd.Options{Logging: logging, GCPeriod: cfg.GCPeriod, Telemetry: cfg.Telemetry}
 		if cfg.InstrumentArrays {
 			opts.InstrumentArrays = true
 			opts.DisableSCC = true
@@ -297,11 +351,13 @@ func buildAnalysis(prog *vm.Program, cfg Config, res *Result) (vm.Instrumentatio
 		}
 		if logging && cfg.Analysis != PCDOnly {
 			p = pcd.NewChecker(pcdMeter, cfg.ReplayOrder)
+			p.SetTelemetry(cfg.Telemetry)
 			opts.OnSCC = func(scc []*txn.Txn) { p.Process(scc) }
 		}
 		ic := icd.NewChecker(prog, cfg.Meter, opts)
 		if cfg.Analysis == PCDOnly {
 			p = pcd.NewChecker(pcdMeter, cfg.ReplayOrder)
+			p.SetTelemetry(cfg.Telemetry)
 		}
 		inst = ic
 		collect = func() {

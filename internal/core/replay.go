@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/trace"
 	"doublechecker/internal/txn"
 	"doublechecker/internal/vm"
@@ -37,6 +38,9 @@ func RunTrace(ctx context.Context, d *trace.Data, cfg Config) (*Result, error) {
 	if cfg.Meter != nil && cfg.MemoryBudget > 0 {
 		cfg.Meter.SetBudget(cfg.MemoryBudget)
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	res := &Result{Analysis: cfg.Analysis, BlamedMethods: make(map[vm.MethodID]bool)}
 	res.VMStats = statsFromCounts(d.Counts)
 
@@ -47,7 +51,11 @@ func RunTrace(ctx context.Context, d *trace.Data, cfg Config) (*Result, error) {
 	if cfg.WrapInst != nil {
 		inst = cfg.WrapInst(inst)
 	}
-	if err := trace.Replay(ctx, d, inst); err != nil {
+	span := cfg.Telemetry.StartSpan(telemetry.SpanExecute, cfg.Meter)
+	err = trace.Replay(ctx, d, inst)
+	span.End()
+	if err != nil {
+		res.Telemetry = cfg.Telemetry.Snapshot()
 		return res, err
 	}
 	collect()
@@ -138,6 +146,13 @@ type TraceDiff struct {
 	// imprecise first pass did not flag — each entry is a soundness
 	// violation of the ICD over-approximation, so this must stay empty.
 	ICDMissed []string
+	// DCTelemetry, VeloTelemetry, and FirstTelemetry are the per-checker
+	// deterministic telemetry snapshots (span wall times stripped): when the
+	// checkers disagree, the divergence report carries each one's pipeline
+	// metrics so the disagreement can be localized to a stage.
+	DCTelemetry    *telemetry.Snapshot
+	VeloTelemetry  *telemetry.Snapshot
+	FirstTelemetry *telemetry.Snapshot
 }
 
 // Agree reports whether DoubleChecker and Velodrome found exactly the same
@@ -181,6 +196,9 @@ func DiffTrace(ctx context.Context, d *trace.Data) (*TraceDiff, error) {
 		First:          first,
 		DCViolations:   ViolationSignatures(dc, prog),
 		VeloViolations: ViolationSignatures(velo, prog),
+		DCTelemetry:    dc.Telemetry.Deterministic(),
+		VeloTelemetry:  velo.Telemetry.Deterministic(),
+		FirstTelemetry: first.Telemetry.Deterministic(),
 	}
 	td.OnlyDC, td.OnlyVelo = diffMultisets(BlameSignatures(dc, prog), BlameSignatures(velo, prog))
 

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doublechecker/internal/spec"
+	"doublechecker/internal/telemetry"
+	"doublechecker/internal/trace"
+	"doublechecker/internal/vm"
+	"doublechecker/internal/workloads"
+)
+
+func replayGolden(t *testing.T, name string) *Result {
+	t.Helper()
+	d, err := trace.ReadFile(filepath.Join("..", "..", "testdata", "traces", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTrace(context.Background(), d, Config{Analysis: DCSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTraceTelemetryDeterministic is the determinism contract's gate: two
+// identical replays of the same golden trace must yield byte-identical
+// deterministic telemetry JSON (span wall times, the one nondeterministic
+// quantity, are stripped).
+func TestTraceTelemetryDeterministic(t *testing.T) {
+	for _, name := range []string{"elevator.dct", "montecarlo.dct", "hsqldb6.dct"} {
+		t.Run(name, func(t *testing.T) {
+			a := replayGolden(t, name).Telemetry.Deterministic().JSON()
+			b := replayGolden(t, name).Telemetry.Deterministic().JSON()
+			if !bytes.Equal(a, b) {
+				t.Errorf("replays diverge:\n%s\nvs\n%s", a, b)
+			}
+			if !strings.Contains(string(a), telemetry.VMSteps) {
+				t.Errorf("snapshot missing vm counters:\n%s", a)
+			}
+		})
+	}
+}
+
+// TestRunTelemetryPrivateRegistry: with Config.Telemetry nil every run gets
+// its own registry, so two runs don't accumulate into each other.
+func TestRunTelemetryPrivateRegistry(t *testing.T) {
+	a := replayGolden(t, "elevator.dct")
+	b := replayGolden(t, "elevator.dct")
+	if a.Telemetry.Counter(telemetry.VMFieldAccesses) != b.Telemetry.Counter(telemetry.VMFieldAccesses) {
+		t.Errorf("identical replays disagree on field accesses: %d vs %d",
+			a.Telemetry.Counter(telemetry.VMFieldAccesses), b.Telemetry.Counter(telemetry.VMFieldAccesses))
+	}
+	if a.Telemetry.Counter(telemetry.VMFieldAccesses) == 0 {
+		t.Error("vm.accesses.field = 0 after a replay")
+	}
+}
+
+// TestMontecarloTelemetryAcceptance runs the montecarlo workload live under
+// single-run mode and checks the pipeline's headline quantities are all
+// observed: at least three Octet transition kinds fire, the SCC size
+// histogram is non-empty, and the PCD replayed-transaction fraction lands
+// in (0, 1].
+func TestMontecarloTelemetryAcceptance(t *testing.T) {
+	b, err := workloads.Build("montecarlo", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.Initial(b.Prog)
+	if err := sp.ExcludeByName(b.InitialExclusions...); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	for seed := int64(0); seed < 8; seed++ {
+		if _, err := Run(b.Prog, Config{
+			Analysis:  DCSingle,
+			Sched:     vm.NewSticky(seed, b.Stickiness),
+			Atomic:    sp.Atomic,
+			Telemetry: reg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if reg.Snapshot().Gauge(telemetry.PCDTxFraction) > 0 {
+			break // an SCC reached PCD; the pipeline is fully exercised
+		}
+	}
+	s := reg.Snapshot()
+
+	kinds := 0
+	for _, name := range []string{
+		telemetry.OctetFastPath, telemetry.OctetInitial, telemetry.OctetUpgrading,
+		telemetry.OctetFence, telemetry.OctetConflicting,
+	} {
+		if s.Counter(name) > 0 {
+			kinds++
+		}
+	}
+	if kinds < 3 {
+		t.Errorf("only %d octet transition kinds observed, want >= 3:\n%s", kinds, s.JSON())
+	}
+	if h, ok := s.Histograms[telemetry.ICDSCCSize]; !ok || h.Count == 0 {
+		t.Errorf("SCC size histogram empty:\n%s", s.JSON())
+	}
+	frac := s.Gauge(telemetry.PCDTxFraction)
+	if !(frac > 0 && frac <= 1) {
+		t.Errorf("pcd.replayed_tx_fraction = %v, want in (0,1]:\n%s", frac, s.JSON())
+	}
+}
+
+// TestDiffTraceTelemetry: DiffTrace carries per-checker deterministic
+// snapshots so divergences can be localized to a pipeline stage.
+func TestDiffTraceTelemetry(t *testing.T) {
+	d, err := trace.ReadFile(filepath.Join("..", "..", "testdata", "traces", "hsqldb6.dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := DiffTrace(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.DCTelemetry == nil || td.VeloTelemetry == nil || td.FirstTelemetry == nil {
+		t.Fatal("diff missing per-checker telemetry")
+	}
+	if td.DCTelemetry.Counter(telemetry.VMFieldAccesses) == 0 {
+		t.Error("dc-single snapshot has no field accesses")
+	}
+	if td.VeloTelemetry.Counter(telemetry.VeloMetadataUpdates) == 0 {
+		t.Error("velodrome snapshot has no metadata updates")
+	}
+	for name, snap := range map[string]interface{ JSON() []byte }{
+		"dc": td.DCTelemetry, "velo": td.VeloTelemetry, "first": td.FirstTelemetry,
+	} {
+		if strings.Contains(string(snap.JSON()), `"wall_ns"`) {
+			t.Errorf("%s snapshot not deterministic (has wall_ns)", name)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"doublechecker/internal/cost"
 	"doublechecker/internal/graph"
 	"doublechecker/internal/octet"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
 	"doublechecker/internal/vm"
 )
@@ -66,6 +67,10 @@ type Options struct {
 	// the deferred path (eager hits see incomplete transactions); the knob
 	// exists to measure the cost the paper's design avoids.
 	EagerDetect bool
+	// Telemetry, when non-nil, receives live IDG/SCC metrics and the
+	// icd.scc / icd.gc phase spans; the registry is also attached to the
+	// underlying Octet engine.
+	Telemetry *telemetry.Registry
 }
 
 // Stats counts ICD activity; Table 3's columns come from here.
@@ -81,6 +86,47 @@ type Stats struct {
 	UnaryInSCC         bool   // any unary transaction in any SCC (multi-run boolean)
 	SCCDetections      uint64 // SCC computations attempted
 	SCCNodesExplored   uint64
+}
+
+// idgEdgeKind labels which Figure 4 handler produced an IDG edge, for the
+// per-dependence-type telemetry breakdown.
+type idgEdgeKind uint8
+
+const (
+	edgeConflicting idgEdgeKind = iota
+	edgeUpgradeRdEx
+	edgeUpgradeRdSh
+	edgeFence
+	numEdgeKinds
+)
+
+// tel holds pre-resolved telemetry handles so instrumented paths pay a nil
+// check plus an atomic op, never a registry map lookup.
+type tel struct {
+	edges        [numEdgeKinds]*telemetry.Counter
+	nodesRegular *telemetry.Counter
+	nodesUnary   *telemetry.Counter
+	sccs         *telemetry.Counter
+	sccTxns      *telemetry.Counter
+	sccSize      *telemetry.Histogram
+}
+
+func newTel(reg *telemetry.Registry) *tel {
+	if reg == nil {
+		return nil
+	}
+	t := &tel{
+		nodesRegular: reg.Counter(telemetry.IDGNodesRegular),
+		nodesUnary:   reg.Counter(telemetry.IDGNodesUnary),
+		sccs:         reg.Counter(telemetry.ICDSCCs),
+		sccTxns:      reg.Counter(telemetry.ICDSCCTxns),
+		sccSize:      reg.Histogram(telemetry.ICDSCCSize, telemetry.SCCSizeBuckets),
+	}
+	t.edges[edgeConflicting] = reg.Counter(telemetry.IDGEdgesConflicting)
+	t.edges[edgeUpgradeRdEx] = reg.Counter(telemetry.IDGEdgesUpgradeRdEx)
+	t.edges[edgeUpgradeRdSh] = reg.Counter(telemetry.IDGEdgesUpgradeRdSh)
+	t.edges[edgeFence] = reg.Counter(telemetry.IDGEdgesFence)
+	return t
 }
 
 // Checker is an ICD instance; it implements vm.Instrumentation.
@@ -109,6 +155,7 @@ type Checker struct {
 
 	stats   Stats
 	sinceGC uint64
+	tel     *tel
 }
 
 // NewChecker returns an ICD checker. meter may be nil.
@@ -123,6 +170,7 @@ func NewChecker(prog *vm.Program, meter *cost.Meter, opts Options) *Checker {
 		lastRdEx:   make(map[vm.ThreadID]*txn.Txn),
 		skipping:   make(map[vm.ThreadID]bool),
 		sccMethods: make(map[vm.MethodID]int),
+		tel:        newTel(opts.Telemetry),
 	}
 	c.mgr = txn.NewManager(opts.Logging, nil, meter)
 	c.configureManager()
@@ -167,6 +215,7 @@ func (c *Checker) ProgramStart(e vm.ExecView) {
 	c.configureManager()
 	c.mgr.OnFinish(c.txnFinished)
 	c.oct = octet.New(c, e.Blocked, c.meter)
+	c.oct.SetTelemetry(c.opts.Telemetry)
 }
 
 // ThreadStart implements vm.Instrumentation.
@@ -251,7 +300,7 @@ func (c *Checker) HandleConflicting(resp, req vm.ThreadID, old, new octet.State,
 	if src != nil {
 		// An incoming edge cuts a merged unary transaction first.
 		dst = c.mgr.EdgeSink(req)
-		c.addIDGEdge(src, dst)
+		c.addIDGEdge(src, dst, edgeConflicting)
 	} else {
 		dst = c.mgr.Current(req)
 	}
@@ -270,10 +319,10 @@ func (c *Checker) HandleUpgrading(t vm.ThreadID, rdExOwner vm.ThreadID, old, new
 		cur = c.mgr.Current(t)
 	}
 	if last := c.lastRdEx[rdExOwner]; last != nil {
-		c.addIDGEdge(last, cur)
+		c.addIDGEdge(last, cur, edgeUpgradeRdEx)
 	}
 	if c.gLastRdSh != nil {
-		c.addIDGEdge(c.gLastRdSh, cur)
+		c.addIDGEdge(c.gLastRdSh, cur, edgeUpgradeRdSh)
 	}
 	c.gLastRdSh = cur
 }
@@ -281,11 +330,11 @@ func (c *Checker) HandleUpgrading(t vm.ThreadID, rdExOwner vm.ThreadID, old, new
 // HandleFence implements octet.Hooks (Figure 4, handleFenceTransition).
 func (c *Checker) HandleFence(t vm.ThreadID, counter uint64) {
 	if c.gLastRdSh != nil {
-		c.addIDGEdge(c.gLastRdSh, c.mgr.EdgeSink(t))
+		c.addIDGEdge(c.gLastRdSh, c.mgr.EdgeSink(t), edgeFence)
 	}
 }
 
-func (c *Checker) addIDGEdge(src, dst *txn.Txn) {
+func (c *Checker) addIDGEdge(src, dst *txn.Txn, kind idgEdgeKind) {
 	if src == nil || dst == nil || src == dst {
 		return
 	}
@@ -293,6 +342,9 @@ func (c *Checker) addIDGEdge(src, dst *txn.Txn) {
 	c.mgr.AddCrossEdge(src, dst)
 	if c.mgr.Stats().CrossEdges != before {
 		c.stats.IDGEdges++
+		if c.tel != nil {
+			c.tel.edges[kind].Inc()
+		}
 		if c.meter != nil {
 			c.meter.Charge(c.meter.Model().IDGEdge)
 		}
@@ -319,6 +371,13 @@ func (c *Checker) addIDGEdge(src, dst *txn.Txn) {
 // txnFinished runs deferred cycle detection (§3.2.3): compute the maximal
 // SCC containing the finished transaction, over finished transactions only.
 func (c *Checker) txnFinished(tx *txn.Txn) {
+	if c.tel != nil {
+		if tx.Unary {
+			c.tel.nodesUnary.Inc()
+		} else {
+			c.tel.nodesRegular.Inc()
+		}
+	}
 	if c.opts.DisableSCC {
 		return
 	}
@@ -336,6 +395,8 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 		return
 	}
 	c.stats.SCCDetections++
+	span := c.opts.Telemetry.StartSpan(telemetry.SpanICDSCC, c.meter)
+	defer span.End()
 	model := cost.Model{}
 	if c.meter != nil {
 		model = c.meter.Model()
@@ -354,6 +415,11 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 	}
 	c.stats.SCCs++
 	c.stats.SCCTxns += uint64(len(comp))
+	if c.tel != nil {
+		c.tel.sccs.Inc()
+		c.tel.sccTxns.Add(uint64(len(comp)))
+		c.tel.sccSize.Observe(uint64(len(comp)))
+	}
 	for _, member := range comp {
 		if member.Unary {
 			c.stats.UnaryInSCC = true
@@ -369,6 +435,8 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 // collect garbage-collects transactions unreachable from the ICD roots:
 // thread currents (implicit), lastRdEx, and gLastRdSh.
 func (c *Checker) collect() {
+	span := c.opts.Telemetry.StartSpan(telemetry.SpanICDGC, c.meter)
+	defer span.End()
 	roots := make([]*txn.Txn, 0, len(c.lastRdEx)+1)
 	for _, tx := range c.lastRdEx {
 		roots = append(roots, tx)

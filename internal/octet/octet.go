@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"doublechecker/internal/cost"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/vm"
 )
 
@@ -163,6 +164,18 @@ type Stats struct {
 	Implicit    uint64 // implicit-protocol responders
 }
 
+// tel holds pre-resolved telemetry counters so the barrier hot path pays
+// one nil check plus one atomic add per transition, never a map lookup.
+type tel struct {
+	fastPath    *telemetry.Counter
+	initial     *telemetry.Counter
+	upgrading   *telemetry.Counter
+	fence       *telemetry.Counter
+	conflicting *telemetry.Counter
+	explicit    *telemetry.Counter
+	implicit    *telemetry.Counter
+}
+
 // Engine tracks Octet state for every object of one execution.
 type Engine struct {
 	states   map[vm.ObjectID]State
@@ -174,6 +187,24 @@ type Engine struct {
 	exited   map[vm.ThreadID]bool
 	meter    *cost.Meter
 	stats    Stats
+	tel      *tel
+}
+
+// SetTelemetry attaches a registry: barrier outcomes are then counted live
+// under the telemetry.Octet* metric names (the Figure 4 transition mix).
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	e.tel = &tel{
+		fastPath:    reg.Counter(telemetry.OctetFastPath),
+		initial:     reg.Counter(telemetry.OctetInitial),
+		upgrading:   reg.Counter(telemetry.OctetUpgrading),
+		fence:       reg.Counter(telemetry.OctetFence),
+		conflicting: reg.Counter(telemetry.OctetConflicting),
+		explicit:    reg.Counter(telemetry.OctetRespondersExpl),
+		implicit:    reg.Counter(telemetry.OctetRespondersImpl),
+	}
 }
 
 // New returns an Engine. blocked reports whether a thread is currently
@@ -240,6 +271,9 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 	case WrEx, RdEx:
 		if old.Owner == t {
 			e.stats.FastPath++
+			if e.tel != nil {
+				e.tel.fastPath.Inc()
+			}
 			e.charge(m.OctetFastPath)
 			return Transition{Kind: Same, Old: old, New: old}
 		}
@@ -253,18 +287,27 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 		e.states[obj] = newState
 		e.rdShCnt[t] = e.gRdShCnt
 		e.stats.Upgrading++
+		if e.tel != nil {
+			e.tel.upgrading.Inc()
+		}
 		e.charge(m.OctetUpgrade)
 		e.hooks.HandleUpgrading(t, old.Owner, old, newState)
 		return Transition{Kind: Upgrading, Old: old, New: newState}
 	case RdSh:
 		if e.rdShCnt[t] >= old.Counter {
 			e.stats.FastPath++
+			if e.tel != nil {
+				e.tel.fastPath.Inc()
+			}
 			e.charge(m.OctetFastPath)
 			return Transition{Kind: Same, Old: old, New: old}
 		}
 		// Fence transition: update the thread's counter.
 		e.rdShCnt[t] = old.Counter
 		e.stats.Fences++
+		if e.tel != nil {
+			e.tel.fence.Inc()
+		}
 		e.charge(m.OctetFence)
 		e.hooks.HandleFence(t, old.Counter)
 		return Transition{Kind: Fence, Old: old, New: old}
@@ -272,6 +315,9 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 		newState := State{Kind: RdEx, Owner: t}
 		e.states[obj] = newState
 		e.stats.Initial++
+		if e.tel != nil {
+			e.tel.initial.Inc()
+		}
 		e.charge(m.OctetUpgrade)
 		return Transition{Kind: Initial, Old: old, New: newState}
 	}
@@ -286,6 +332,9 @@ func (e *Engine) BeforeWrite(t vm.ThreadID, obj vm.ObjectID) Transition {
 	case WrEx:
 		if old.Owner == t {
 			e.stats.FastPath++
+			if e.tel != nil {
+				e.tel.fastPath.Inc()
+			}
 			e.charge(m.OctetFastPath)
 			return Transition{Kind: Same, Old: old, New: old}
 		}
@@ -297,6 +346,9 @@ func (e *Engine) BeforeWrite(t vm.ThreadID, obj vm.ObjectID) Transition {
 			newState := State{Kind: WrEx, Owner: t}
 			e.states[obj] = newState
 			e.stats.Upgrading++
+			if e.tel != nil {
+				e.tel.upgrading.Inc()
+			}
 			e.charge(m.OctetUpgrade)
 			return Transition{Kind: Upgrading, Old: old, New: newState}
 		}
@@ -307,6 +359,9 @@ func (e *Engine) BeforeWrite(t vm.ThreadID, obj vm.ObjectID) Transition {
 		newState := State{Kind: WrEx, Owner: t}
 		e.states[obj] = newState
 		e.stats.Initial++
+		if e.tel != nil {
+			e.tel.initial.Inc()
+		}
 		e.charge(m.OctetUpgrade)
 		return Transition{Kind: Initial, Old: old, New: newState}
 	}
@@ -323,6 +378,9 @@ func (e *Engine) BeforeWrite(t vm.ThreadID, obj vm.ObjectID) Transition {
 func (e *Engine) conflict(req vm.ThreadID, obj vm.ObjectID, old, newState State) Transition {
 	m := e.model()
 	e.stats.Conflicting++
+	if e.tel != nil {
+		e.tel.conflicting.Inc()
+	}
 	var resps []vm.ThreadID
 	switch old.Kind {
 	case WrEx, RdEx:
@@ -339,9 +397,15 @@ func (e *Engine) conflict(req vm.ThreadID, obj vm.ObjectID, old, newState State)
 		explicit := !e.blocked(resp) && !e.exited[resp]
 		if explicit {
 			e.stats.Explicit++
+			if e.tel != nil {
+				e.tel.explicit.Inc()
+			}
 			e.charge(m.OctetConflictExplicit)
 		} else {
 			e.stats.Implicit++
+			if e.tel != nil {
+				e.tel.implicit.Inc()
+			}
 			e.charge(m.OctetConflictImplicit)
 		}
 		e.stats.Responders++

@@ -26,6 +26,7 @@ import (
 
 	"doublechecker/internal/cost"
 	"doublechecker/internal/graph"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
 	"doublechecker/internal/vm"
 )
@@ -44,11 +45,24 @@ const (
 // Stats counts PCD activity.
 type Stats struct {
 	SCCsProcessed   uint64
-	TxnsProcessed   uint64
+	TxnsProcessed   uint64 // SCC members fed to Process (re-reports included)
+	DistinctTxns    uint64 // distinct transactions ever sent to PCD
 	EntriesReplayed uint64
 	PDGEdges        uint64
 	CycleChecks     uint64
 	PreciseCycles   uint64 // dynamic precise cycles (pre-dedup)
+}
+
+// tel holds pre-resolved telemetry handles (nil when no registry attached).
+type tel struct {
+	reg      *telemetry.Registry
+	sccs     *telemetry.Counter
+	txns     *telemetry.Counter
+	txnsSent *telemetry.Counter
+	entries  *telemetry.Counter
+	edges    *telemetry.Counter
+	cycles   *telemetry.Counter
+	fieldMap *telemetry.Histogram
 }
 
 // Checker is a PCD instance. It is fed SCCs by ICD (via core) and
@@ -58,9 +72,29 @@ type Checker struct {
 	order ReplayOrder
 
 	violations []txn.Violation
-	seen       map[string]bool // cycle identity (sorted txn IDs) dedup
+	seen       map[string]bool     // cycle identity (sorted txn IDs) dedup
+	seenTxns   map[uint64]struct{} // distinct transaction IDs sent to PCD
 	stats      Stats
+	tel        *tel
 	tempBytes  int64 // live replay temporaries (released per Process)
+}
+
+// SetTelemetry attaches a registry: Process then records live counters, the
+// per-field map-size histogram, and the pcd.replay / pcd.blame phase spans.
+func (c *Checker) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.tel = &tel{
+		reg:      reg,
+		sccs:     reg.Counter(telemetry.PCDSCCs),
+		txns:     reg.Counter(telemetry.PCDTxns),
+		txnsSent: reg.Counter(telemetry.PCDTxnsSent),
+		entries:  reg.Counter(telemetry.PCDEntries),
+		edges:    reg.Counter(telemetry.PCDEdges),
+		cycles:   reg.Counter(telemetry.PCDCycles),
+		fieldMap: reg.Histogram(telemetry.PCDFieldMap, telemetry.MapSizeBuckets),
+	}
 }
 
 // tempAlloc meters a replay-temporary allocation.
@@ -74,7 +108,12 @@ func (c *Checker) tempAlloc(n int64) {
 // NewChecker returns a PCD checker using the given replay order; meter may
 // be nil.
 func NewChecker(meter *cost.Meter, order ReplayOrder) *Checker {
-	return &Checker{meter: meter, order: order, seen: make(map[string]bool)}
+	return &Checker{
+		meter:    meter,
+		order:    order,
+		seen:     make(map[string]bool),
+		seenTxns: make(map[uint64]struct{}),
+	}
 }
 
 // Violations returns the distinct precise violations found so far.
@@ -167,10 +206,24 @@ type segState struct {
 func (c *Checker) Process(scc []*txn.Txn) []txn.Violation {
 	c.stats.SCCsProcessed++
 	c.stats.TxnsProcessed += uint64(len(scc))
+	var span telemetry.Span
+	if c.tel != nil {
+		span = c.tel.reg.StartSpan(telemetry.SpanPCDReplay, c.meter)
+		defer span.End()
+		c.tel.sccs.Inc()
+		c.tel.txns.Add(uint64(len(scc)))
+	}
 
 	inSCC := make(map[*txn.Txn]bool, len(scc))
 	for _, tx := range scc {
 		inSCC[tx] = true
+		if _, ok := c.seenTxns[tx.ID]; !ok {
+			c.seenTxns[tx.ID] = struct{}{}
+			c.stats.DistinctTxns++
+			if c.tel != nil {
+				c.tel.txnsSent.Inc()
+			}
+		}
 	}
 
 	var entries []entryRef
@@ -284,6 +337,12 @@ func (c *Checker) Process(scc []*txn.Txn) []txn.Violation {
 		}
 		st.count++
 	}
+	if c.tel != nil {
+		c.tel.entries.Add(uint64(len(entries)))
+		// The live per-field metadata at end of replay: W(f) plus R(T,f)
+		// key sets — the heap spike §3.3's replay pays for.
+		c.tel.fieldMap.Observe(uint64(len(lastWrite) + len(lastReads)))
+	}
 	return found
 }
 
@@ -294,6 +353,9 @@ func (c *Checker) addPDGEdge(g *pdg, src, dst *txn.Txn, seq uint64, found []txn.
 		return found
 	}
 	c.stats.PDGEdges++
+	if c.tel != nil {
+		c.tel.edges.Inc()
+	}
 	c.tempAlloc(64)
 	c.charge(c.model().PCDPerEdge)
 	c.stats.CycleChecks++
@@ -307,12 +369,20 @@ func (c *Checker) addPDGEdge(g *pdg, src, dst *txn.Txn, seq uint64, found []txn.
 		return found
 	}
 	c.stats.PreciseCycles++
+	if c.tel != nil {
+		c.tel.cycles.Inc()
+	}
 	key := cycleKey(path)
 	if c.seen[key] {
 		return found
 	}
 	c.seen[key] = true
+	var blame telemetry.Span
+	if c.tel != nil {
+		blame = c.tel.reg.StartSpan(telemetry.SpanPCDBlame, c.meter)
+	}
 	v := txn.NewViolationWith(path, seq, g.order)
+	blame.End()
 	c.violations = append(c.violations, v)
 	return append(found, v)
 }

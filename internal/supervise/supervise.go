@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/vm"
 )
 
@@ -136,6 +137,17 @@ type Budget struct {
 	// SeedStride is added to the seed on each retry; 0 means
 	// DefaultSeedStride.
 	SeedStride int64
+	// Telemetry, if non-nil, counts supervision outcomes (attempts, retries,
+	// quarantined panics, timeouts, terminal failures, recoveries) under the
+	// telemetry.Supervise* names.
+	Telemetry *telemetry.Registry
+}
+
+// count bumps one supervision counter when a registry is attached.
+func (b Budget) count(name string) {
+	if b.Telemetry != nil {
+		b.Telemetry.Counter(name).Inc()
+	}
 }
 
 // Outcome is the result of one supervised trial.
@@ -180,11 +192,16 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 		}
 		s := seed + int64(a-1)*stride
 		out.Attempts = a
+		b.count(telemetry.SuperviseAttempts)
+		if a > 1 {
+			b.count(telemetry.SuperviseRetries)
+		}
 		v, err, panicked, digest := runAttempt(ctx, b.TrialTimeout, s, attempt)
 		if err == nil {
 			out.Value, out.OK, out.Seed = v, true, s
 			for i := range out.Failures {
 				out.Failures[i].Recovered = true
+				b.count(telemetry.SuperviseRecovered)
 			}
 			return out, nil
 		}
@@ -197,14 +214,17 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 		switch {
 		case panicked:
 			f.Kind = KindPanic
+			b.count(telemetry.SupervisePanics)
 		case errors.Is(err, context.DeadlineExceeded):
 			f.Kind = KindTimeout
 			f.Err = fmt.Errorf("%w: %w", ErrTrialTimeout, err)
+			b.count(telemetry.SuperviseTimeouts)
 		default:
 			f.Kind = Classify(err)
 		}
 		out.Failures = append(out.Failures, f)
 		if !Transient(err) || a > b.Retries {
+			b.count(telemetry.SuperviseFailures)
 			return out, nil
 		}
 	}

@@ -1,0 +1,85 @@
+package telemetry
+
+// Canonical metric names. Centralizing them keeps the checkers, the
+// exporters, the tests, and DESIGN.md's metric → paper-quantity table in
+// agreement. The name hierarchy is dotted: subsystem.object.detail.
+const (
+	// Octet barrier outcomes (paper Table 1 / Figure 4 transition kinds).
+	OctetFastPath       = "octet.transitions.fast_path"
+	OctetInitial        = "octet.transitions.initial"
+	OctetUpgrading      = "octet.transitions.upgrading"
+	OctetFence          = "octet.transitions.fence"
+	OctetConflicting    = "octet.transitions.conflicting"
+	OctetRespondersExpl = "octet.responders.explicit"
+	OctetRespondersImpl = "octet.responders.implicit"
+
+	// ICD: imprecise dependence graph and SCC statistics (paper §3.2, §5).
+	IDGEdgesConflicting = "icd.idg.edges.conflicting"
+	IDGEdgesUpgradeRdEx = "icd.idg.edges.upgrading_rdex"
+	IDGEdgesUpgradeRdSh = "icd.idg.edges.upgrading_rdsh"
+	IDGEdgesFence       = "icd.idg.edges.fence"
+	IDGNodesRegular     = "icd.idg.nodes.regular"
+	IDGNodesUnary       = "icd.idg.nodes.unary"
+	ICDSCCs             = "icd.scc.count"
+	ICDSCCSize          = "icd.scc.size"
+	ICDSCCTxns          = "icd.scc.txns"
+
+	// PCD: precise replay (paper §3.3).
+	PCDSCCs       = "pcd.sccs_processed"
+	PCDTxns       = "pcd.txns_processed"
+	PCDTxnsSent   = "pcd.txns_sent_distinct"
+	PCDEntries    = "pcd.entries_replayed"
+	PCDEdges      = "pcd.pdg.edges"
+	PCDCycles     = "pcd.cycles"
+	PCDFieldMap   = "pcd.field_map.size"
+	PCDTxFraction = "pcd.replayed_tx_fraction"
+
+	// Velodrome baseline (paper §2, §4).
+	VeloMetadataUpdates = "velo.metadata_updates"
+	VeloEdges           = "velo.edges"
+	VeloCycleChecks     = "velo.cycle_checks"
+	VeloSyncFastSkips   = "velo.sync_fast_skips"
+
+	// Executor ground truth.
+	VMSteps         = "vm.steps"
+	VMFieldAccesses = "vm.accesses.field"
+	VMArrayAccesses = "vm.accesses.array"
+	VMSyncAccesses  = "vm.accesses.sync"
+	VMRegularTx     = "vm.tx.regular"
+	VMTxEnds        = "vm.tx.ends"
+	VMAbortedTx     = "vm.aborted_tx"
+
+	// Modelled cost (cost.Report mirror).
+	CostTotal = "cost.total_units"
+	CostGC    = "cost.gc_units"
+	CostPeak  = "cost.peak_bytes"
+	CostOOM   = "cost.oom"
+
+	// Supervision outcomes (internal/supervise).
+	SuperviseAttempts   = "supervise.attempts"
+	SuperviseRetries    = "supervise.retries"
+	SupervisePanics     = "supervise.quarantined_panics"
+	SuperviseTimeouts   = "supervise.timeouts"
+	SuperviseFailures   = "supervise.failures"
+	SuperviseDowngrades = "supervise.downgrades"
+	SuperviseRecovered  = "supervise.recovered"
+)
+
+// Span (pipeline phase) names, in pipeline order.
+const (
+	SpanExecute   = "execute"    // whole instrumented execution or trace replay
+	SpanICDSCC    = "icd.scc"    // deferred SCC detection at transaction end
+	SpanICDGC     = "icd.gc"     // ICD transaction-graph collection
+	SpanPCDReplay = "pcd.replay" // one PCD Process (SCC replay)
+	SpanPCDBlame  = "pcd.blame"  // blame assignment for a found cycle
+	SpanVeloGC    = "velo.gc"    // Velodrome transaction-graph collection
+)
+
+// Standard bucket bounds.
+var (
+	// SCCSizeBuckets covers the paper's SCC size distribution: most SCCs
+	// are tiny (2–4 transactions), a few are huge.
+	SCCSizeBuckets = []uint64{2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128, 256}
+	// MapSizeBuckets covers PCD's per-Process last-access map sizes.
+	MapSizeBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+)

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+
+	"doublechecker/internal/cost"
+)
+
+// spanStat accumulates one named phase's totals.
+type spanStat struct {
+	count     atomic.Uint64
+	costUnits atomic.Int64
+	wallNanos atomic.Int64
+}
+
+// Span measures one occurrence of a named pipeline phase: wall time between
+// StartSpan and End, plus the cost-model units the attached meter charged in
+// between. Spans of the same name accumulate; the snapshot reports the
+// per-phase count, total cost units, and total wall nanoseconds.
+//
+// A Span is a value; End must be called exactly once. The zero Span (and
+// any span from a nil registry) is a no-op.
+type Span struct {
+	stat      *spanStat
+	meter     *cost.Meter
+	start     time.Time
+	startCost cost.Units
+}
+
+// StartSpan begins one occurrence of the named phase. meter may be nil, in
+// which case the span records wall time and count only.
+func (r *Registry) StartSpan(name string, meter *cost.Meter) Span {
+	stat := r.spanStat(name)
+	if stat == nil {
+		return Span{}
+	}
+	s := Span{stat: stat, meter: meter, start: time.Now()}
+	if meter != nil {
+		s.startCost = meter.Total()
+	}
+	return s
+}
+
+// End finishes the span, charging its wall time and cost delta to the phase.
+func (s Span) End() {
+	if s.stat == nil {
+		return
+	}
+	s.stat.count.Add(1)
+	s.stat.wallNanos.Add(int64(time.Since(s.start)))
+	if s.meter != nil {
+		s.stat.costUnits.Add(int64(s.meter.Total() - s.startCost))
+	}
+}

@@ -23,6 +23,7 @@ package velodrome
 import (
 	"doublechecker/internal/cost"
 	"doublechecker/internal/graph"
+	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
 	"doublechecker/internal/vm"
 )
@@ -76,6 +77,32 @@ type Options struct {
 	// (cyclic graphs have no topological order). An extension beyond the
 	// paper, compared in the benchmarks.
 	IncrementalCycles bool
+	// Telemetry, when non-nil, receives live Velodrome metrics (metadata
+	// updates, edges, cycle checks, sync fast skips) and the velo.gc span.
+	Telemetry *telemetry.Registry
+}
+
+// tel holds pre-resolved telemetry handles so the barrier pays a nil check
+// plus an atomic op, never a registry map lookup.
+type tel struct {
+	reg             *telemetry.Registry
+	metadataUpdates *telemetry.Counter
+	edges           *telemetry.Counter
+	cycleChecks     *telemetry.Counter
+	syncFastSkips   *telemetry.Counter
+}
+
+func newTel(reg *telemetry.Registry) *tel {
+	if reg == nil {
+		return nil
+	}
+	return &tel{
+		reg:             reg,
+		metadataUpdates: reg.Counter(telemetry.VeloMetadataUpdates),
+		edges:           reg.Counter(telemetry.VeloEdges),
+		cycleChecks:     reg.Counter(telemetry.VeloCycleChecks),
+		syncFastSkips:   reg.Counter(telemetry.VeloSyncFastSkips),
+	}
 }
 
 // Checker is a Velodrome instance; it implements vm.Instrumentation.
@@ -99,6 +126,8 @@ type Checker struct {
 
 	inc      *graph.IncrementalDAG[*txn.Txn]
 	incDirty bool // a cycle exists: the incremental order is no longer usable
+
+	tel *tel
 }
 
 // NewChecker returns a Velodrome checker. meter may be nil.
@@ -109,6 +138,7 @@ func NewChecker(prog *vm.Program, meter *cost.Meter, opts Options) *Checker {
 		opts:     opts,
 		meta:     make(map[fieldKey]*metadata),
 		skipping: make(map[vm.ThreadID]bool),
+		tel:      newTel(opts.Telemetry),
 	}
 	if c.opts.GCPeriod == 0 {
 		c.opts.GCPeriod = 8192
@@ -218,6 +248,9 @@ func (c *Checker) Access(a vm.Access) {
 	if c.opts.Unsound && !changes {
 		c.charge(model.VeloNoSyncPath)
 		c.stats.SyncFastSkips++
+		if c.tel != nil {
+			c.tel.syncFastSkips.Inc()
+		}
 	} else {
 		c.charge(model.VeloSync)
 	}
@@ -276,6 +309,9 @@ func (c *Checker) incomingEdge(md *metadata, a vm.Access) bool {
 // read applies the READ rule of Figure 5.
 func (c *Checker) read(md *metadata, cur *txn.Txn, seq uint64) {
 	c.charge(c.model().VeloMetadata)
+	if c.tel != nil {
+		c.tel.metadataUpdates.Inc()
+	}
 	if md.lastWrite != nil && md.lastWrite.Thread != cur.Thread {
 		c.addEdge(md.lastWrite, cur, seq)
 	}
@@ -285,6 +321,9 @@ func (c *Checker) read(md *metadata, cur *txn.Txn, seq uint64) {
 // write applies the WRITE rule of Figure 5.
 func (c *Checker) write(md *metadata, cur *txn.Txn, seq uint64) {
 	c.charge(c.model().VeloMetadata)
+	if c.tel != nil {
+		c.tel.metadataUpdates.Inc()
+	}
 	if md.lastWrite != nil && md.lastWrite.Thread != cur.Thread {
 		c.addEdge(md.lastWrite, cur, seq)
 	}
@@ -307,11 +346,17 @@ func (c *Checker) addEdge(src, dst *txn.Txn, seq uint64) {
 	}
 	c.mgr.AddCrossEdge(src, dst)
 	c.stats.EdgesAdded++
+	if c.tel != nil {
+		c.tel.edges.Inc()
+	}
 	c.charge(c.model().VeloEdge)
 	if c.opts.DisableCycleDetection {
 		return
 	}
 	c.stats.CycleChecks++
+	if c.tel != nil {
+		c.tel.cycleChecks.Inc()
+	}
 	if c.inc != nil && !c.incDirty {
 		// Incremental engine: exact while the dependence graph is acyclic.
 		before := c.inc.Stats().Visited
@@ -342,6 +387,8 @@ func (c *Checker) addEdge(src, dst *txn.Txn, seq uint64) {
 // collect garbage-collects transactions unreachable from the metadata and
 // thread-current roots.
 func (c *Checker) collect() {
+	span := c.opts.Telemetry.StartSpan(telemetry.SpanVeloGC, c.meter)
+	defer span.End()
 	var roots []*txn.Txn
 	for _, md := range c.meta {
 		if md.lastWrite != nil {

@@ -202,6 +202,13 @@ func (e *Exec) RunContext(ctx context.Context) (*Stats, error) {
 			return &e.stats, ErrStepLimit
 		}
 	}
+	// On clean completion every frame has unwound, so every begun
+	// transaction must have ended; mid-run (or on an aborted run) the
+	// counters legitimately differ — see Stats.AbortedTx.
+	if e.stats.TxEnds != e.stats.RegularTx {
+		return &e.stats, fmt.Errorf("vm: internal: clean completion with %d transactions begun but %d ended",
+			e.stats.RegularTx, e.stats.TxEnds)
+	}
 	e.inst.ProgramEnd()
 	return &e.stats, nil
 }

@@ -12,7 +12,7 @@ type Stats struct {
 	ArrayAccesses uint64 // array element accesses
 	SyncAccesses  uint64 // synchronization operations surfaced as accesses
 	RegularTx     uint64 // regular (non-unary) transactions begun
-	TxEnds        uint64 // regular transactions ended (== RegularTx when the run completes)
+	TxEnds        uint64 // regular transactions ended (== RegularTx only on clean completion)
 	ThreadStarts  uint64 // ThreadStart events emitted
 	ThreadExits   uint64 // ThreadExit events emitted
 	Calls         uint64
@@ -21,6 +21,18 @@ type Stats struct {
 	Notifies      uint64
 	BlockEvents   uint64 // times a thread blocked on a lock or join
 	ComputeUnits  uint64
+}
+
+// AbortedTx returns the transactions begun but never ended — nonzero only
+// when the run was cut short (cancellation, step limit, deadlock, a VM
+// error), since a clean completion unwinds every frame. The two counters are
+// intentionally asymmetric mid-run; asserting equality is only valid at
+// clean completion (RunContext checks it there).
+func (s *Stats) AbortedTx() uint64 {
+	if s.TxEnds >= s.RegularTx {
+		return 0
+	}
+	return s.RegularTx - s.TxEnds
 }
 
 // TotalAccesses returns all accesses surfaced to instrumentation.

@@ -1,0 +1,23 @@
+package vm
+
+import "testing"
+
+// TestAbortedTx: the begin/end delta surfaces as a non-negative aborted
+// count — begun-but-never-ended transactions, never a negative artifact of
+// unary transaction ends.
+func TestAbortedTx(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Stats
+		want uint64
+	}{
+		{"balanced", Stats{RegularTx: 4, TxEnds: 4}, 0},
+		{"aborted", Stats{RegularTx: 5, TxEnds: 3}, 2},
+		{"ends exceed begins", Stats{RegularTx: 2, TxEnds: 6}, 0},
+		{"zero", Stats{}, 0},
+	} {
+		if got := tc.s.AbortedTx(); got != tc.want {
+			t.Errorf("%s: AbortedTx() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
