@@ -53,6 +53,9 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		record = fs.String("record", "", "record the execution's event stream to this .dct trace file (requires -trials 1)")
 		replay = fs.Bool("replay", false, "treat the argument as a .dct trace and re-check it without executing")
 
+		pcdWorkers = fs.Int("pcd-workers", 0,
+			"PCD replay worker pool size; >=2 checks SCCs concurrently off the critical path (0/1: in-line serial replay)")
+
 		statsJSON   = fs.Bool("stats-json", false, "print the run's telemetry snapshot as JSON (deterministic: span wall times stripped)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the check runs")
 	)
@@ -72,6 +75,10 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		fmt.Fprintf(stderr, "dcheck: -retries %d is negative\n", *retries)
 		return 2
 	}
+	if *pcdWorkers < 0 {
+		fmt.Fprintf(stderr, "dcheck: -pcd-workers %d is negative\n", *pcdWorkers)
+		return 2
+	}
 	if *record != "" && (*trials != 1 || *refine || *dot || *replay) {
 		fmt.Fprintln(stderr, "dcheck: -record needs -trials 1 and is incompatible with -refine, -dot and -replay")
 		return 2
@@ -85,7 +92,7 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		sticky: *sticky, refine: *refine, lintOnly: *lint, costly: *costly,
 		verbose: *verbose, dot: *dot,
 		trialTimeout: *trialTimeout, maxSteps: *maxSteps, retries: *retries,
-		record: *record, replay: *replay,
+		record: *record, replay: *replay, pcdWorkers: *pcdWorkers,
 		statsJSON: *statsJSON, metricsAddr: *metricsAddr,
 	}, stdout, stderr)
 	if err != nil {
@@ -107,6 +114,7 @@ type dcheckOpts struct {
 	retries                                int
 	record                                 string
 	replay                                 bool
+	pcdWorkers                             int
 	statsJSON                              bool
 	metricsAddr                            string
 }
@@ -209,12 +217,13 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 		out, err := supervise.Trial(ctx, budget, o.analysis, s,
 			func(ctx context.Context, seed int64) (*core.Result, error) {
 				return core.RunContext(ctx, prog, core.Config{
-					Analysis:  analysis,
-					Sched:     vm.NewSticky(seed, o.sticky),
-					Atomic:    sp.Atomic,
-					Meter:     meter,
-					MaxSteps:  o.maxSteps,
-					Telemetry: reg,
+					Analysis:   analysis,
+					Sched:      vm.NewSticky(seed, o.sticky),
+					Atomic:     sp.Atomic,
+					Meter:      meter,
+					MaxSteps:   o.maxSteps,
+					Telemetry:  reg,
+					PCDWorkers: o.pcdWorkers,
 				})
 			})
 		if err != nil {
@@ -297,7 +306,7 @@ func runDCheckReplay(ctx context.Context, o dcheckOpts, reg *telemetry.Registry,
 	h := &d.Header
 	fmt.Fprintf(stdout, "trace %s: program %s, seed %d, %d events, source %q\n",
 		o.path, h.Program.Name, h.Seed, d.Counts.Total(), h.Source)
-	res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, Telemetry: reg})
+	res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, Telemetry: reg, PCDWorkers: o.pcdWorkers})
 	if err != nil {
 		return err
 	}

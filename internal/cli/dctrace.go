@@ -394,6 +394,7 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 	var (
 		analysisName = fs.String("analysis", "dc-single", "checker to replay the trace through")
 		workers      = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		pcdWorkers   = fs.Int("pcd-workers", 0, "PCD replay worker pool size per trace; >=2 checks SCCs concurrently (0/1: serial)")
 		timeout      = fs.Duration("trace-timeout", 0, "wall-clock budget per trace (0: unbounded)")
 		statsJSON    = fs.Bool("stats-json", false, "print each trace's telemetry snapshot as JSON (deterministic: span wall times stripped)")
 	)
@@ -419,7 +420,7 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 			if err != nil {
 				return "", false, err
 			}
-			res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis})
+			res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, PCDWorkers: *pcdWorkers})
 			if err != nil {
 				return "", false, err
 			}

@@ -44,7 +44,7 @@ func RunTrace(ctx context.Context, d *trace.Data, cfg Config) (*Result, error) {
 	res := &Result{Analysis: cfg.Analysis, BlamedMethods: make(map[vm.MethodID]bool)}
 	res.VMStats = statsFromCounts(d.Counts)
 
-	inst, collect, err := buildAnalysis(d.Header.Program, cfg, res)
+	inst, collect, abort, err := buildAnalysis(ctx, d.Header.Program, cfg, res)
 	if err != nil {
 		return nil, err
 	}
@@ -55,6 +55,7 @@ func RunTrace(ctx context.Context, d *trace.Data, cfg Config) (*Result, error) {
 	err = trace.Replay(ctx, d, inst)
 	span.End()
 	if err != nil {
+		abort()
 		res.Telemetry = cfg.Telemetry.Snapshot()
 		return res, err
 	}

@@ -1,0 +1,231 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/telemetry"
+	"doublechecker/internal/workloads"
+)
+
+// parallelPCDSeed is the fixed schedule seed for the determinism section;
+// the timing section rotates seeds per trial.
+const parallelPCDSeed = 1
+
+// parallelPCDWorkers are the pool sizes compared, 0 being the in-line
+// serial reference.
+var parallelPCDWorkers = []int{0, 2, 4, 8}
+
+// ParallelPCDConfig is one worker count's measurements on one benchmark.
+type ParallelPCDConfig struct {
+	Workers int `json:"workers"`
+	// RunWallNanos is the mean whole-run wall time across the perf trials.
+	RunWallNanos int64 `json:"run_wall_ns"`
+	// CriticalPathPCDNanos is the mean wall time PCD work kept on the
+	// program's critical path: the in-line replay spans when serial, only
+	// the SCC hand-off (snapshot + enqueue) spans when pooled.
+	CriticalPathPCDNanos int64 `json:"critical_path_pcd_ns"`
+	// ReplayWallNanos is the mean total PCD replay wall time wherever it
+	// ran: the replay spans when serial, the per-worker spans when pooled.
+	ReplayWallNanos int64 `json:"replay_wall_ns"`
+	// SpeedupRun and SpeedupPCDPhase are this config's ratios against the
+	// serial reference (above 1 means faster / less critical-path time).
+	SpeedupRun      float64 `json:"speedup_run"`
+	SpeedupPCDPhase float64 `json:"speedup_pcd_phase"`
+}
+
+// ParallelPCDDet is the determinism self-check for one benchmark: the
+// serial run's findings, and whether every pooled configuration reproduced
+// the serial deterministic snapshot byte for byte.
+type ParallelPCDDet struct {
+	Violations int      `json:"violations"`
+	Blamed     []string `json:"blamed"`
+	SCCs       uint64   `json:"sccs"`
+	// Identical reports that every worker count produced a byte-identical
+	// deterministic telemetry snapshot and violation set. False is a
+	// correctness failure of the pool, not a measurement artifact.
+	Identical bool `json:"identical"`
+	// Snapshot is the serial run's deterministic snapshot; with Identical
+	// true it stands for every configuration.
+	Snapshot *telemetry.Snapshot `json:"snapshot"`
+}
+
+// ParallelPCDBenchmark is one stress benchmark's full result.
+type ParallelPCDBenchmark struct {
+	Name    string              `json:"benchmark"`
+	Det     ParallelPCDDet      `json:"determinism"`
+	Configs []ParallelPCDConfig `json:"configs"`
+}
+
+// ParallelPCDData is the dump written by `dcbench -experiment parallelpcd`
+// (BENCH_parallelpcd.json). The determinism section (DetJSON) is
+// byte-reproducible across runs and machines; the timing section is not
+// (wall clocks never are) and lives only in the full JSON.
+type ParallelPCDData struct {
+	Scale      float64                `json:"scale"`
+	Seed       int64                  `json:"seed"`
+	Trials     int                    `json:"trials"`
+	Benchmarks []ParallelPCDBenchmark `json:"benchmarks"`
+}
+
+// ParallelPCD runs the concurrent-PCD experiment over the SCC-stress
+// workloads: a determinism pass (every worker count must reproduce the
+// serial findings and deterministic snapshot exactly) and a timing pass
+// (whole-run wall time plus how much PCD wall time stays on the critical
+// path, serial vs pooled).
+func (r *Runner) ParallelPCD() (*ParallelPCDData, error) {
+	data := &ParallelPCDData{Scale: r.opts.Scale, Seed: parallelPCDSeed, Trials: r.opts.PerfTrials}
+	for _, name := range workloads.Stress() {
+		_, initial, err := r.bench(name)
+		if err != nil {
+			return nil, err
+		}
+		bm := ParallelPCDBenchmark{Name: name}
+
+		// Determinism pass: serial is the reference.
+		var refJSON []byte
+		var refSigs string
+		bm.Det.Identical = true
+		for _, w := range parallelPCDWorkers {
+			w := w
+			res, err := r.run(name, core.DCSingle, initial, parallelPCDSeed, nil,
+				func(cfg *core.Config) { cfg.PCDWorkers = w })
+			if err != nil {
+				return nil, err
+			}
+			b, _, err := r.bench(name)
+			if err != nil {
+				return nil, err
+			}
+			snap := res.Telemetry.Deterministic()
+			sigs := strings.Join(core.ViolationSignatures(res, b.Prog), ";")
+			if w == 0 {
+				refJSON = snap.JSON()
+				refSigs = sigs
+				bm.Det.Violations = len(res.Violations)
+				bm.Det.Blamed = res.BlamedMethodNames(b.Prog)
+				bm.Det.SCCs = res.ICD.SCCs
+				bm.Det.Snapshot = snap
+				continue
+			}
+			if !bytes.Equal(snap.JSON(), refJSON) || sigs != refSigs || len(res.PCDQuarantined) != 0 {
+				bm.Det.Identical = false
+			}
+		}
+
+		// Timing pass.
+		trials := r.opts.PerfTrials
+		if trials < 1 {
+			trials = 1
+		}
+		var serial ParallelPCDConfig
+		for _, w := range parallelPCDWorkers {
+			w := w
+			cfg := ParallelPCDConfig{Workers: w}
+			for t := 0; t < trials; t++ {
+				start := time.Now()
+				res, err := r.run(name, core.DCSingle, initial, parallelPCDSeed+int64(t), nil,
+					func(c *core.Config) { c.PCDWorkers = w })
+				if err != nil {
+					return nil, err
+				}
+				cfg.RunWallNanos += time.Since(start).Nanoseconds()
+				spans := res.Telemetry.Spans
+				if w >= 2 {
+					cfg.CriticalPathPCDNanos += spans[telemetry.SpanPCDHandoff].WallNanos
+					for n, sp := range spans {
+						if strings.HasPrefix(n, telemetry.SpanPCDPoolWorker) {
+							cfg.ReplayWallNanos += sp.WallNanos
+						}
+					}
+				} else {
+					replay := spans[telemetry.SpanPCDReplay].WallNanos
+					cfg.CriticalPathPCDNanos += replay
+					cfg.ReplayWallNanos += replay
+				}
+			}
+			cfg.RunWallNanos /= int64(trials)
+			cfg.CriticalPathPCDNanos /= int64(trials)
+			cfg.ReplayWallNanos /= int64(trials)
+			if w == 0 {
+				serial = cfg
+				cfg.SpeedupRun = 1
+				cfg.SpeedupPCDPhase = 1
+			} else {
+				if cfg.RunWallNanos > 0 {
+					cfg.SpeedupRun = float64(serial.RunWallNanos) / float64(cfg.RunWallNanos)
+				}
+				if cfg.CriticalPathPCDNanos > 0 {
+					cfg.SpeedupPCDPhase = float64(serial.CriticalPathPCDNanos) / float64(cfg.CriticalPathPCDNanos)
+				}
+			}
+			bm.Configs = append(bm.Configs, cfg)
+		}
+		data.Benchmarks = append(data.Benchmarks, bm)
+	}
+	return data, nil
+}
+
+// JSON renders the full dump (timing included) as indented JSON.
+func (d *ParallelPCDData) JSON() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		panic("eval: parallelpcd encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// DetJSON renders only the determinism section: reproducible byte for byte
+// across runs, so CI can record two fresh runs and require identical files.
+func (d *ParallelPCDData) DetJSON() []byte {
+	type detBench struct {
+		Name string         `json:"benchmark"`
+		Det  ParallelPCDDet `json:"determinism"`
+	}
+	out := struct {
+		Scale      float64    `json:"scale"`
+		Seed       int64      `json:"seed"`
+		Benchmarks []detBench `json:"benchmarks"`
+	}{Scale: d.Scale, Seed: d.Seed}
+	for _, bm := range d.Benchmarks {
+		out.Benchmarks = append(out.Benchmarks, detBench{Name: bm.Name, Det: bm.Det})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		panic("eval: parallelpcd det encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// RenderParallelPCD prints the comparison table. Wall-time speedups depend
+// on the host's core count (a single-core machine shows none); the
+// critical-path column is the architectural effect and shows on any host.
+func (d *ParallelPCDData) RenderParallelPCD() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Concurrent PCD (scale %.2g, seed %d, %d trial(s) per config)\n", d.Scale, d.Seed, d.Trials)
+	fmt.Fprintf(&b, "%-10s %8s %10s %12s %12s %9s %9s  %s\n",
+		"benchmark", "workers", "run-ms", "pcd-crit-ms", "replay-ms", "x-run", "x-pcd", "identical")
+	for _, bm := range d.Benchmarks {
+		ident := "yes"
+		if !bm.Det.Identical {
+			ident = "NO (pool diverged)"
+		}
+		for _, c := range bm.Configs {
+			fmt.Fprintf(&b, "%-10s %8d %10.2f %12.3f %12.2f %9.2f %9.2f  %s\n",
+				bm.Name, c.Workers,
+				float64(c.RunWallNanos)/1e6,
+				float64(c.CriticalPathPCDNanos)/1e6,
+				float64(c.ReplayWallNanos)/1e6,
+				c.SpeedupRun, c.SpeedupPCDPhase, ident)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

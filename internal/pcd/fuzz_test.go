@@ -1,0 +1,195 @@
+package pcd
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"doublechecker/internal/txn"
+	"doublechecker/internal/vm"
+)
+
+// violationKey renders a violation as a comparable identity: sorted cycle
+// member IDs, sorted blamed IDs, sorted blamed methods, and the detection
+// clock. The pool replays clones, so comparisons go through IDs, never
+// pointers.
+func violationKey(v txn.Violation) string {
+	ids := func(txs []*txn.Txn) []uint64 {
+		out := make([]uint64, len(txs))
+		for i, tx := range txs {
+			out[i] = tx.ID
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	ms := append([]vm.MethodID(nil), v.BlamedMethods...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return fmt.Sprintf("cycle=%v blamed=%v methods=%v seq=%d", ids(v.Cycle), ids(v.Blamed), ms, v.Seq)
+}
+
+func violationKeys(vs []txn.Violation) []string {
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		keys[i] = violationKey(v)
+	}
+	return keys
+}
+
+// buildFuzzRun interprets fuzz bytes as a synthetic ICD session — begins,
+// ends, accesses, and cross edges over a few threads — and returns the SCC
+// groups a detector would have handed to PCD (consecutive chunks of the
+// created transactions, sizes also driven by the input; overlap included so
+// cross-SCC dedup is exercised).
+func buildFuzzRun(data []byte) [][]*txn.Txn {
+	e := newEnv()
+	const nThreads = 3
+	var created []*txn.Txn
+	active := make(map[vm.ThreadID]*txn.Txn)
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	steps := 0
+	for i < len(data) && steps < 512 {
+		steps++
+		th := vm.ThreadID(next() % nThreads)
+		switch next() % 8 {
+		case 0:
+			if active[th] == nil {
+				tx := e.begin(th, vm.MethodID(next()%4+1))
+				active[th] = tx
+				created = append(created, tx)
+			}
+		case 1:
+			if active[th] != nil {
+				e.end(th)
+				active[th] = nil
+			}
+		case 2, 3, 4, 5:
+			obj := vm.ObjectID(next()%3 + 1)
+			f := vm.FieldID(next() % 2)
+			write := next()%2 == 0
+			if active[th] == nil {
+				tx := e.begin(th, vm.MethodID(next()%4+1))
+				active[th] = tx
+				created = append(created, tx)
+			}
+			e.access(th, obj, f, write)
+		default:
+			if len(created) >= 2 {
+				src := created[int(next())%len(created)]
+				dst := created[int(next())%len(created)]
+				if src != dst && src.Thread != dst.Thread {
+					e.edge(src, dst)
+				}
+			}
+		}
+	}
+	for th, tx := range active {
+		if tx != nil {
+			e.end(th)
+		}
+	}
+	// Chunk into SCC groups; a second pass re-reports a prefix so the same
+	// cycle can be found in two groups (dedup must keep exactly one).
+	var groups [][]*txn.Txn
+	for start := 0; start < len(created); {
+		n := 1 + int(next()%6)
+		end := start + n
+		if end > len(created) {
+			end = len(created)
+		}
+		groups = append(groups, created[start:end])
+		start = end
+	}
+	if len(created) > 1 {
+		groups = append(groups, created[:len(created)/2+1])
+	}
+	return groups
+}
+
+// FuzzPCDProcess: on any synthetic SCC log, the serial checker and the
+// concurrent pool must report the identical violation sequence and stats.
+func FuzzPCDProcess(f *testing.F) {
+	// The canonical racy increment, a no-conflict run, and edge-heavy noise.
+	f.Add([]byte{0, 0, 10, 1, 0, 20, 0, 2, 1, 0, 0, 1, 2, 1, 0, 1, 6, 0, 1, 0, 2, 1, 0, 1, 1, 1, 0, 1})
+	f.Add([]byte{0, 0, 1, 1, 2, 1, 0, 1, 0, 1})
+	f.Add([]byte{2, 2, 1, 0, 0, 1, 3, 1, 1, 1, 6, 1, 0, 2, 4, 2, 0, 1, 6, 0, 1, 5, 2, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, order := range []ReplayOrder{BySeq, ByEdges} {
+			groups := buildFuzzRun(data)
+
+			serial := NewChecker(nil, order)
+			for _, g := range groups {
+				serial.Process(g)
+			}
+
+			pool := NewPool(PoolConfig{Workers: 3, Order: order})
+			for _, g := range groups {
+				pool.Submit(g)
+			}
+			merged := pool.Drain(context.Background())
+
+			sk, pk := violationKeys(serial.Violations()), violationKeys(merged.Violations)
+			if len(sk) != len(pk) {
+				t.Fatalf("order %v: serial %d violations %v, pool %d %v", order, len(sk), sk, len(pk), pk)
+			}
+			for i := range sk {
+				if sk[i] != pk[i] {
+					t.Fatalf("order %v: violation %d: serial %q pool %q", order, i, sk[i], pk[i])
+				}
+			}
+			if serial.Stats() != merged.Stats {
+				t.Fatalf("order %v: stats serial %+v pool %+v", order, serial.Stats(), merged.Stats)
+			}
+		}
+	})
+}
+
+// TestPropertyOrdersAgreeOnAcyclicSCC: on fixtures whose true dependence
+// graph is acyclic within the reported SCC, both replay orders must agree
+// there is no violation, however badly the imprecise SCC over-approximated.
+// The fixtures run transactions strictly one at a time (begin → accesses →
+// end before the next begins), so every true dependence points forward in
+// time and the precise graph cannot have a cycle — yet the whole set is
+// reported as one SCC, cross edges and all.
+func TestPropertyOrdersAgreeOnAcyclicSCC(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := newEnv()
+		nThreads := 2 + rng.Intn(4)
+		nObjs := 1 + rng.Intn(3)
+		var all []*txn.Txn
+		// lastTouched[obj] is the most recent transaction to access obj; the
+		// recorded cross edge always points from it to the newer transaction.
+		lastTouched := make(map[vm.ObjectID]*txn.Txn)
+		for k := 0; k < 6+rng.Intn(12); k++ {
+			th := vm.ThreadID(rng.Intn(nThreads))
+			tx := e.begin(th, vm.MethodID(rng.Intn(3)+1))
+			all = append(all, tx)
+			for a := 0; a < 1+rng.Intn(4); a++ {
+				obj := vm.ObjectID(rng.Intn(nObjs) + 1)
+				if prev := lastTouched[obj]; prev != nil && prev.Thread != th {
+					e.edge(prev, tx)
+				}
+				e.access(th, obj, vm.FieldID(rng.Intn(2)), rng.Intn(3) == 0)
+				lastTouched[obj] = tx
+			}
+			e.end(th)
+		}
+		bySeq := NewChecker(nil, BySeq)
+		byEdges := NewChecker(nil, ByEdges)
+		vs, ve := bySeq.Process(all), byEdges.Process(all)
+		if len(vs) != 0 || len(ve) != 0 {
+			t.Errorf("seed %d: acyclic fixture produced violations: BySeq %d, ByEdges %d",
+				seed, len(vs), len(ve))
+		}
+	}
+}

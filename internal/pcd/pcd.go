@@ -73,7 +73,9 @@ type Checker struct {
 
 	violations []txn.Violation
 	seen       map[string]bool     // cycle identity (sorted txn IDs) dedup
-	seenTxns   map[uint64]struct{} // distinct transaction IDs sent to PCD
+	seenTxns   map[uint64]struct{} // distinct txn IDs sent to PCD (nil on shards)
+	deferred   bool                // shard mode: record Finds, defer dedup/blame
+	finds      []Find
 	stats      Stats
 	tel        *tel
 	tempBytes  int64 // live replay temporaries (released per Process)
@@ -85,7 +87,15 @@ func (c *Checker) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	c.tel = &tel{
+	c.tel = newTel(reg)
+}
+
+// newTel resolves the full PCD handle set eagerly. The pool calls it too
+// (before any SCC exists), so a zero-SCC run registers the same metric names
+// under the serial and the pooled paths — a requirement of the byte-identical
+// Deterministic() snapshot contract.
+func newTel(reg *telemetry.Registry) *tel {
+	return &tel{
 		reg:      reg,
 		sccs:     reg.Counter(telemetry.PCDSCCs),
 		txns:     reg.Counter(telemetry.PCDTxns),
@@ -114,6 +124,54 @@ func NewChecker(meter *cost.Meter, order ReplayOrder) *Checker {
 		seen:     make(map[string]bool),
 		seenTxns: make(map[uint64]struct{}),
 	}
+}
+
+// NewShard returns a pool-worker checker: Process records raw cycle Finds
+// instead of deduplicating and assigning blame, and distinct-transaction
+// accounting is left to the pool (which sees SCCs in hand-off order).
+// Deferring both is what makes the merged result independent of how SCCs
+// were assigned to workers: cross-SCC dedup keeps the first find in hand-off
+// order, and blame runs exactly once per distinct cycle — just as the serial
+// checker behaves.
+func NewShard(meter *cost.Meter, order ReplayOrder) *Checker {
+	return &Checker{meter: meter, order: order, deferred: true}
+}
+
+// Find is one raw precise cycle recorded by a shard in deferred mode: the
+// cycle path, the detection clock, and the PDG edge orders of the cycle's
+// adjacent pairs — everything blame assignment (txn.BlameWith) will ask for,
+// captured before the per-Process PDG is discarded.
+type Find struct {
+	Cycle []*txn.Txn
+	Seq   uint64
+	Out   []uint64 // Out[i] orders the Cycle[i] -> Cycle[i+1] edge
+	OutOK []bool
+}
+
+// Violation runs blame assignment over the find, exactly as the serial
+// checker would have at detection time.
+func (f *Find) Violation() txn.Violation {
+	n := len(f.Cycle)
+	idx := make(map[*txn.Txn]int, n)
+	for i, tx := range f.Cycle {
+		idx[tx] = i
+	}
+	order := func(src, dst *txn.Txn) (uint64, bool) {
+		i, ok := idx[src]
+		if !ok || f.Cycle[(i+1)%n] != dst || !f.OutOK[i] {
+			return 0, false
+		}
+		return f.Out[i], true
+	}
+	return txn.NewViolationWith(f.Cycle, f.Seq, order)
+}
+
+// TakeFinds returns and clears the cycle finds recorded in deferred (shard)
+// mode, in discovery order.
+func (c *Checker) TakeFinds() []Find {
+	f := c.finds
+	c.finds = nil
+	return f
 }
 
 // Violations returns the distinct precise violations found so far.
@@ -217,11 +275,16 @@ func (c *Checker) Process(scc []*txn.Txn) []txn.Violation {
 	inSCC := make(map[*txn.Txn]bool, len(scc))
 	for _, tx := range scc {
 		inSCC[tx] = true
-		if _, ok := c.seenTxns[tx.ID]; !ok {
-			c.seenTxns[tx.ID] = struct{}{}
-			c.stats.DistinctTxns++
-			if c.tel != nil {
-				c.tel.txnsSent.Inc()
+		// Shards (seenTxns nil) skip distinct accounting: per-shard sets
+		// would depend on which worker got which SCC, so the pool tracks
+		// distinct IDs at submission instead.
+		if c.seenTxns != nil {
+			if _, ok := c.seenTxns[tx.ID]; !ok {
+				c.seenTxns[tx.ID] = struct{}{}
+				c.stats.DistinctTxns++
+				if c.tel != nil {
+					c.tel.txnsSent.Inc()
+				}
 			}
 		}
 	}
@@ -317,9 +380,12 @@ func (c *Checker) Process(scc []*txn.Txn) []txn.Violation {
 			if w := lastWrite[key]; w != nil && w.Thread != cur.Thread {
 				found = c.addPDGEdge(g, w, cur, e.Seq, found)
 			}
-			for t, rd := range lastReads[key] {
+			// Readers in thread order: a write racing several readers inserts
+			// its anti-dependence edges — and so detects cycles — in a fixed
+			// sequence, keeping replay deterministic (map iteration is not).
+			for _, t := range sortedThreads(lastReads[key]) {
 				if t != cur.Thread {
-					found = c.addPDGEdge(g, rd, cur, e.Seq, found)
+					found = c.addPDGEdge(g, lastReads[key][t], cur, e.Seq, found)
 				}
 			}
 			lastWrite[key] = cur
@@ -372,6 +438,15 @@ func (c *Checker) addPDGEdge(g *pdg, src, dst *txn.Txn, seq uint64, found []txn.
 	if c.tel != nil {
 		c.tel.cycles.Inc()
 	}
+	if c.deferred {
+		n := len(path)
+		f := Find{Cycle: path, Seq: seq, Out: make([]uint64, n), OutOK: make([]bool, n)}
+		for i := range path {
+			f.Out[i], f.OutOK[i] = g.order(path[i], path[(i+1)%n])
+		}
+		c.finds = append(c.finds, f)
+		return found
+	}
 	key := cycleKey(path)
 	if c.seen[key] {
 		return found
@@ -385,6 +460,19 @@ func (c *Checker) addPDGEdge(g *pdg, src, dst *txn.Txn, seq uint64, found []txn.
 	blame.End()
 	c.violations = append(c.violations, v)
 	return append(found, v)
+}
+
+// sortedThreads returns a reader map's thread keys in ascending order.
+func sortedThreads(m map[vm.ThreadID]*txn.Txn) []vm.ThreadID {
+	if len(m) == 0 {
+		return nil
+	}
+	ts := make([]vm.ThreadID, 0, len(m))
+	for t := range m {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
 }
 
 // cycleKey builds a canonical identity for a cycle: its sorted member IDs.

@@ -34,6 +34,17 @@ const (
 	PCDFieldMap   = "pcd.field_map.size"
 	PCDTxFraction = "pcd.replayed_tx_fraction"
 
+	// Concurrent PCD pool (paper §5.3: PCD off the critical path). Everything
+	// under LiveOnlyPrefix reflects scheduling — worker count, queue timing,
+	// per-worker load — rather than the analyzed execution, so
+	// Snapshot.Deterministic() strips the whole namespace: a run's
+	// deterministic snapshot is byte-identical across worker counts.
+	PCDPoolWorkers     = "pcd.pool.workers"         // gauge: configured worker goroutines
+	PCDPoolJobs        = "pcd.pool.jobs"            // counter: SCCs handed off
+	PCDPoolDropped     = "pcd.pool.dropped"         // counter: queued jobs skipped by abort
+	PCDPoolQuarantined = "pcd.pool.quarantined"     // counter: worker panics quarantined
+	PCDPoolQueueMax    = "pcd.pool.queue_depth_max" // gauge: peak queued-job backlog
+
 	// Velodrome baseline (paper §2, §4).
 	VeloMetadataUpdates = "velo.metadata_updates"
 	VeloEdges           = "velo.edges"
@@ -73,7 +84,17 @@ const (
 	SpanPCDReplay = "pcd.replay" // one PCD Process (SCC replay)
 	SpanPCDBlame  = "pcd.blame"  // blame assignment for a found cycle
 	SpanVeloGC    = "velo.gc"    // Velodrome transaction-graph collection
+
+	// Pool spans (live-only; see LiveOnlyPrefix). The hand-off span is the
+	// critical-path side of the split — the VM thread cloning an SCC for the
+	// workers — while the per-worker spans are the off-path side.
+	SpanPCDHandoff    = "pcd.pool.handoff"
+	SpanPCDPoolWorker = "pcd.pool.worker." // prefix; the worker index is appended
 )
+
+// LiveOnlyPrefix marks metrics that describe live pool scheduling rather
+// than the analyzed execution; Snapshot.Deterministic() removes them.
+const LiveOnlyPrefix = "pcd.pool."
 
 // Standard bucket bounds.
 var (

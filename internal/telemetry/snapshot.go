@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 )
 
 // HistogramSnapshot is one histogram's state at snapshot time.
@@ -72,19 +73,46 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
-// Deterministic returns a copy with every nondeterministic field (span wall
-// time) zeroed: two identical replays of the same trace yield byte-identical
-// JSON encodings of the result.
+// Deterministic returns a copy with every nondeterministic element removed:
+// span wall times are zeroed and live-only metrics (the LiveOnlyPrefix
+// namespace — PCD pool scheduling state such as queue depth and per-worker
+// load) are dropped entirely. Two identical replays of the same trace yield
+// byte-identical JSON encodings of the result, regardless of PCD worker
+// count or interleaving.
 func (s *Snapshot) Deterministic() *Snapshot {
 	out := &Snapshot{
-		Counters:   s.Counters,
-		Gauges:     s.Gauges,
-		Histograms: s.Histograms,
+		Counters:   dropLive(s.Counters),
+		Gauges:     dropLive(s.Gauges),
+		Histograms: dropLive(s.Histograms),
 		Spans:      make(map[string]SpanSnapshot, len(s.Spans)),
 	}
 	for n, sp := range s.Spans {
+		if strings.HasPrefix(n, LiveOnlyPrefix) {
+			continue
+		}
 		sp.WallNanos = 0
 		out.Spans[n] = sp
+	}
+	return out
+}
+
+// dropLive filters the LiveOnlyPrefix namespace out of one metric map,
+// returning the input untouched (no copy) when nothing matches.
+func dropLive[V any](m map[string]V) map[string]V {
+	live := 0
+	for n := range m {
+		if strings.HasPrefix(n, LiveOnlyPrefix) {
+			live++
+		}
+	}
+	if live == 0 {
+		return m
+	}
+	out := make(map[string]V, len(m)-live)
+	for n, v := range m {
+		if !strings.HasPrefix(n, LiveOnlyPrefix) {
+			out[n] = v
+		}
 	}
 	return out
 }

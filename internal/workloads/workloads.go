@@ -50,11 +50,18 @@ type Workload struct {
 	Build func(scale float64) *Built
 }
 
-// registry holds the suite in paper order.
-var registry []Workload
+// registry holds the suite in paper order. stressRegistry holds the
+// SCC-stress additions separately: they are not part of the paper's suite,
+// so All() — which drives every table and figure — must not grow when they
+// are added.
+var registry, stressRegistry []Workload
 
 func register(name, desc string, build func(scale float64) *Built) {
 	registry = append(registry, Workload{Name: name, Desc: desc, Build: build})
+}
+
+func registerStress(name, desc string, build func(scale float64) *Built) {
+	stressRegistry = append(stressRegistry, Workload{Name: name, Desc: desc, Build: build})
 }
 
 // All returns the benchmark names in the paper's order.
@@ -66,16 +73,32 @@ func All() []string {
 	return names
 }
 
-// Get returns the named workload.
+// Stress returns the names of the SCC-stress workloads: synthetic graphs
+// with many large strongly connected components, built to exercise the
+// concurrent PCD hand-off rather than reproduce any paper benchmark.
+func Stress() []string {
+	names := make([]string, len(stressRegistry))
+	for i, w := range stressRegistry {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// Get returns the named workload, searching the paper suite and the stress
+// set.
 func Get(name string) (Workload, error) {
-	for _, w := range registry {
-		if w.Name == name {
-			return w, nil
+	for _, reg := range [][]Workload{registry, stressRegistry} {
+		for _, w := range reg {
+			if w.Name == name {
+				return w, nil
+			}
 		}
 	}
 	var known []string
-	for _, w := range registry {
-		known = append(known, w.Name)
+	for _, reg := range [][]Workload{registry, stressRegistry} {
+		for _, w := range reg {
+			known = append(known, w.Name)
+		}
 	}
 	sort.Strings(known)
 	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, known)
