@@ -282,14 +282,10 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 }
 
 // printViolationSummary prints one result's violation count and blamed
-// methods in dcheck's usual format.
+// methods in dcheck's usual format (core.ViolationSummary, shared with the
+// dcserve service).
 func printViolationSummary(stdout io.Writer, prog *vm.Program, res *core.Result) {
-	fmt.Fprintf(stdout, "%d dynamic violations\n", len(res.Violations))
-	if names := res.BlamedMethodNames(prog); len(names) > 0 {
-		fmt.Fprintf(stdout, "blamed methods: %v\n", names)
-	} else {
-		fmt.Fprintln(stdout, "no atomicity violations detected")
-	}
+	io.WriteString(stdout, core.ViolationSummary(prog, res))
 }
 
 // runDCheckReplay re-checks a recorded trace: the positional argument is a
@@ -303,14 +299,11 @@ func runDCheckReplay(ctx context.Context, o dcheckOpts, reg *telemetry.Registry,
 	if err != nil {
 		return err
 	}
-	h := &d.Header
-	fmt.Fprintf(stdout, "trace %s: program %s, seed %d, %d events, source %q\n",
-		o.path, h.Program.Name, h.Seed, d.Counts.Total(), h.Source)
 	res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, Telemetry: reg, PCDWorkers: o.pcdWorkers})
 	if err != nil {
 		return err
 	}
-	printViolationSummary(stdout, h.Program, res)
+	io.WriteString(stdout, core.ReplayReport(o.path, d, res))
 	if o.statsJSON {
 		stdout.Write(res.Telemetry.Deterministic().JSON())
 	}

@@ -1,0 +1,91 @@
+// dcserve: the always-on checking service. Serves .dct uploads and named
+// workloads over HTTP with admission control, circuit breaking, a shared
+// PCD worker budget, and graceful drain; see internal/server.
+
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"doublechecker/internal/server"
+)
+
+// DCServe runs the dcserve command: parse flags, serve until the context is
+// canceled (SIGTERM/SIGINT in main), then drain gracefully. Returns the
+// process exit code.
+func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dcserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr = fs.String("addr", "127.0.0.1:8377", "listen address (host:port; port 0 picks a free port)")
+		cfg  server.Config
+		req  = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-check wall-clock budget")
+		drn  = fs.Duration("drain-timeout", server.DefaultDrainTimeout, "how long in-flight checks get to finish on shutdown")
+	)
+	fs.IntVar(&cfg.MaxConcurrent, "concurrency", 0, "checks running at once (0: GOMAXPROCS)")
+	fs.IntVar(&cfg.MaxQueue, "queue", server.DefaultMaxQueue, "admitted requests that may wait for a slot before shedding with 429")
+	fs.IntVar(&cfg.PCDBudget, "pcd-budget", server.DefaultPCDBudget, "global PCD pool workers shared across requests (-1 disables pooling)")
+	fs.IntVar(&cfg.PCDPerRequest, "pcd-per-request", server.DefaultPCDPerRequest, "PCD pool workers one request asks for")
+	fs.Int64Var(&cfg.MaxBodyBytes, "max-body", server.DefaultMaxBodyBytes, "largest accepted trace upload, bytes")
+	fs.IntVar(&cfg.BreakerThreshold, "breaker-threshold", 0, "consecutive same-digest failures that open a circuit (0: default)")
+	fs.DurationVar(&cfg.BreakerCooldown, "breaker-cooldown", 0, "open-circuit cooldown before a probe (0: default)")
+	fs.IntVar(&cfg.Retries, "retries", 1, "extra attempts a transient check failure earns")
+	fs.Float64Var(&cfg.WorkloadScale, "scale", server.DefaultWorkloadScale, "scale factor for named workload checks")
+	fs.BoolVar(&cfg.AllowFaults, "allow-faults", false, "enable deterministic fault-injection query parameters (chaos testing only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "dcserve: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	cfg.RequestTimeout = *req
+	cfg.DrainTimeout = *drn
+
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "dcserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "dcserve: serving on http://%s (drain timeout %v)\n", ln.Addr(), cfg.DrainTimeout)
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "dcserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (readyz flips to 503 and new checks are
+	// rejected while existing connections still get answers), let in-flight
+	// checks finish within the drain deadline, cancel stragglers, then close
+	// the listener and idle connections.
+	fmt.Fprintln(stdout, "dcserve: draining")
+	clean := s.WaitDrain(context.Background())
+	if !clean {
+		fmt.Fprintf(stdout, "dcserve: drain deadline %v exceeded; canceled remaining checks\n", cfg.DrainTimeout)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		httpSrv.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "dcserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "dcserve: drained, exiting")
+	return 0
+}

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -72,6 +73,8 @@ func DCTraceContext(ctx context.Context, args []string, stdout, stderr io.Writer
 		return 2
 	case errDisagree:
 		return 1
+	case errSkipped:
+		return 3
 	}
 	fmt.Fprintln(stderr, "dctrace:", err)
 	return 1
@@ -80,7 +83,20 @@ func DCTraceContext(ctx context.Context, args []string, stdout, stderr io.Writer
 var (
 	errUsage    = fmt.Errorf("usage error")
 	errDisagree = fmt.Errorf("checkers disagree")
+	// errSkipped reports that the batch completed but some trace files were
+	// skipped as undecodable (exit code 3): the healthy traces' verdicts
+	// stand, and the caller can tell a bad corpus entry from a bad checker.
+	errSkipped = fmt.Errorf("undecodable traces skipped")
 )
+
+// isDecodeErr reports whether err means the trace file itself is unusable
+// (bad magic, corruption, truncation, unreadable), as opposed to a checker
+// failure on a valid trace.
+func isDecodeErr(err error) bool {
+	return errors.Is(err, trace.ErrBadMagic) || errors.Is(err, trace.ErrVersion) ||
+		errors.Is(err, trace.ErrCorrupt) || errors.Is(err, trace.ErrTruncated) ||
+		errors.Is(err, trace.ErrIO)
+}
 
 // loadUnit parses and lowers a .dcp file into a program plus its atomicity
 // specification.
@@ -362,12 +378,19 @@ func runTraceJobs(ctx context.Context, paths []string, workers int, timeout time
 	wg.Wait()
 
 	var firstErr error
-	disagreed := 0
+	disagreed, skipped := 0, 0
 	for _, r := range results {
 		for _, f := range r.failures {
 			fmt.Fprintln(stderr, "dctrace:", f)
 		}
 		if r.err != nil {
+			// An undecodable trace file is that file's problem, not the
+			// batch's: report it, skip it, and keep the healthy verdicts.
+			if isDecodeErr(r.err) && !errors.Is(r.err, supervise.ErrCanceled) {
+				skipped++
+				fmt.Fprintf(stderr, "dctrace: skipping %v\n", r.err)
+				continue
+			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
@@ -384,6 +407,10 @@ func runTraceJobs(ctx context.Context, paths []string, workers int, timeout time
 	if disagreed > 0 {
 		fmt.Fprintf(stdout, "%d of %d trace(s) disagree\n", disagreed, len(paths))
 		return errDisagree
+	}
+	if skipped > 0 {
+		fmt.Fprintf(stdout, "skipped %d undecodable trace(s) of %d\n", skipped, len(paths))
+		return errSkipped
 	}
 	return nil
 }

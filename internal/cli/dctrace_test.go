@@ -107,6 +107,68 @@ func TestDCTraceDirectoryFanOut(t *testing.T) {
 	}
 }
 
+// TestDCTraceFanOutSkipsUndecodableTraces: a truncated or corrupt .dct in
+// a batch is reported and skipped — the healthy traces' verdicts stand and
+// the batch exits with the distinct skipped code (3), not a fan-out abort.
+func TestDCTraceFanOutSkipsUndecodableTraces(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "prog.dcp")
+	if err := os.WriteFile(prog, []byte(racyDCP), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traceDir := filepath.Join(dir, "traces")
+	if err := os.Mkdir(traceDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []string{"1", "2"} {
+		var out, errb bytes.Buffer
+		code := DCTrace([]string{"record", "-seed", seed,
+			"-o", filepath.Join(traceDir, "s"+seed+".dct"), prog}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("record seed %s: exit %d: %s", seed, code, errb.String())
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(traceDir, "s1.dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mid-file truncation and a flipped byte: both must be skipped.
+	if err := os.WriteFile(filepath.Join(traceDir, "cut.dct"), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipped := bytes.Clone(raw)
+	flipped[len(flipped)/2] ^= 0xff
+	if err := os.WriteFile(filepath.Join(traceDir, "flip.dct"), flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := DCTrace([]string{"replay", "-workers", "2", traceDir}, &out, &errb); code != 3 {
+		t.Fatalf("batch replay exit %d, want 3\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if got := strings.Count(out.String(), "violation(s)"); got != 2 {
+		t.Errorf("want the 2 healthy per-trace reports, got %d:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "skipped 2 undecodable trace(s) of 4") {
+		t.Errorf("missing skip summary:\n%s", out.String())
+	}
+	for _, want := range []string{"skipping", "cut.dct", "flip.dct"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+
+	// diff takes the same path through the fan-out.
+	out.Reset()
+	errb.Reset()
+	if code := DCTrace([]string{"diff", traceDir}, &out, &errb); code != 3 {
+		t.Fatalf("batch diff exit %d, want 3\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "agree:") {
+		t.Errorf("healthy diff verdicts missing:\n%s", out.String())
+	}
+}
+
 func TestDCTraceInfoRejectsCorruptFile(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := recordRacyTrace(t, dir)

@@ -1,0 +1,42 @@
+// Canonical human-readable check reports. dcheck, dctrace and the dcserve
+// service all render results through these helpers, which is what makes the
+// service's correctness contract checkable: a report served over HTTP for a
+// trace is byte-identical to `dcheck -replay` on the same file, because both
+// are this code.
+
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"doublechecker/internal/trace"
+	"doublechecker/internal/vm"
+)
+
+// ViolationSummary renders a result's violation count and blamed methods in
+// the canonical two-line form every tool uses.
+func ViolationSummary(prog *vm.Program, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d dynamic violations\n", len(res.Violations))
+	if names := res.BlamedMethodNames(prog); len(names) > 0 {
+		fmt.Fprintf(&b, "blamed methods: %v\n", names)
+	} else {
+		b.WriteString("no atomicity violations detected\n")
+	}
+	return b.String()
+}
+
+// ReplayReport renders the canonical replay report for trace d checked as
+// res: the trace identity line (name is the caller's display name for the
+// trace — a path for dcheck, an upload name for dcserve) followed by the
+// violation summary. Deterministic for a given (d, res): serving it from a
+// worker pool of any size yields identical bytes.
+func ReplayReport(name string, d *trace.Data, res *Result) string {
+	h := &d.Header
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: program %s, seed %d, %d events, source %q\n",
+		name, h.Program.Name, h.Seed, d.Counts.Total(), h.Source)
+	b.WriteString(ViolationSummary(h.Program, res))
+	return b.String()
+}

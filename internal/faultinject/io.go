@@ -1,0 +1,145 @@
+// I/O fault injection: deterministic failures on the byte-stream seams a
+// service lives or dies by — trace uploads, trace-file reads, response
+// writes. Faults fire at Read/Write *call counts*, mirroring the event-count
+// determinism of Plan: the Nth read short-reads, fails, or resets on every
+// run, so the server's and trace reader's error paths are testable without
+// flaky sockets.
+
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// Injected I/O errors; match with errors.Is. ErrReset models a mid-stream
+// connection reset (the peer vanished), ErrReadFailed a generic transport
+// read failure, ErrWriteFailed the write-side equivalent.
+var (
+	ErrReset       = errors.New("faultinject: injected connection reset")
+	ErrReadFailed  = errors.New("faultinject: injected read failure")
+	ErrWriteFailed = errors.New("faultinject: injected write failure")
+)
+
+// IOPlan schedules stream faults at deterministic Read/Write call counts
+// (1-based; 0 disables a fault).
+type IOPlan struct {
+	// ShortReadAt truncates the stream: the Nth Read returns at most one
+	// byte, and every later Read reports io.EOF — a client that stopped
+	// sending mid-upload, or a file cut short.
+	ShortReadAt uint64
+	// FailReadAt makes the Nth Read (and all later ones) return
+	// ErrReadFailed.
+	FailReadAt uint64
+	// ResetReadAt makes the Nth Read (and all later ones) return ErrReset —
+	// a mid-stream connection reset.
+	ResetReadAt uint64
+	// StallReadAt sleeps StallFor before the Nth Read, and — when
+	// StallEveryRead is set — again every that-many reads after it: a
+	// glacial client.
+	StallReadAt    uint64
+	StallEveryRead uint64
+
+	// StallWriteAt sleeps StallFor before the Nth Write, and — when
+	// StallEveryWrite is set — again every that-many writes after it: a
+	// stalled response writer (slow consumer).
+	StallWriteAt    uint64
+	StallEveryWrite uint64
+	// FailWriteAt makes the Nth Write (and all later ones) return
+	// ErrWriteFailed.
+	FailWriteAt uint64
+	// ResetWriteAt makes the Nth Write (and all later ones) return ErrReset.
+	ResetWriteAt uint64
+
+	// StallFor is the stall duration shared by the read- and write-side
+	// stall faults.
+	StallFor time.Duration
+}
+
+// Reader wraps r so the plan's read-side faults fire at the scheduled call
+// counts. The wrapper is single-use per stream (it owns the call counter).
+func (p *IOPlan) Reader(r io.Reader) io.Reader {
+	return &faultReader{inner: r, plan: p}
+}
+
+// Writer wraps w so the plan's write-side faults fire at the scheduled call
+// counts. The wrapper is single-use per stream.
+func (p *IOPlan) Writer(w io.Writer) io.Writer {
+	return &faultWriter{inner: w, plan: p}
+}
+
+// stallHit reports whether call number n hits a stall scheduled at `at` with
+// period `every`.
+func stallHit(n, at, every uint64) bool {
+	if at == 0 || n < at {
+		return false
+	}
+	if n == at {
+		return true
+	}
+	return every != 0 && (n-at)%every == 0
+}
+
+type faultReader struct {
+	inner io.Reader
+	plan  *IOPlan
+	reads uint64
+	eof   bool
+}
+
+func (f *faultReader) Read(b []byte) (int, error) {
+	if f.eof {
+		return 0, io.EOF
+	}
+	f.reads++
+	n := f.reads
+	p := f.plan
+	if stallHit(n, p.StallReadAt, p.StallEveryRead) {
+		time.Sleep(p.StallFor)
+	}
+	if p.FailReadAt != 0 && n >= p.FailReadAt {
+		return 0, ErrReadFailed
+	}
+	if p.ResetReadAt != 0 && n >= p.ResetReadAt {
+		return 0, ErrReset
+	}
+	if p.ShortReadAt != 0 && n >= p.ShortReadAt {
+		f.eof = true
+		if len(b) == 0 {
+			return 0, io.EOF
+		}
+		// Deliver at most one byte, then end the stream for good.
+		m, err := f.inner.Read(b[:1])
+		if err != nil && err != io.EOF {
+			return m, err
+		}
+		if m == 0 {
+			return 0, io.EOF
+		}
+		return m, nil
+	}
+	return f.inner.Read(b)
+}
+
+type faultWriter struct {
+	inner  io.Writer
+	plan   *IOPlan
+	writes uint64
+}
+
+func (f *faultWriter) Write(b []byte) (int, error) {
+	f.writes++
+	n := f.writes
+	p := f.plan
+	if stallHit(n, p.StallWriteAt, p.StallEveryWrite) {
+		time.Sleep(p.StallFor)
+	}
+	if p.FailWriteAt != 0 && n >= p.FailWriteAt {
+		return 0, ErrWriteFailed
+	}
+	if p.ResetWriteAt != 0 && n >= p.ResetWriteAt {
+		return 0, ErrReset
+	}
+	return f.inner.Write(b)
+}

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIOPlanShortRead(t *testing.T) {
+	src := strings.Repeat("x", 100)
+	p := &IOPlan{ShortReadAt: 2}
+	r := p.Reader(strings.NewReader(src))
+	buf := make([]byte, 10)
+	n, err := r.Read(buf)
+	if n != 10 || err != nil {
+		t.Fatalf("read 1: n=%d err=%v, want full 10", n, err)
+	}
+	n, err = r.Read(buf)
+	if n > 1 || err != nil {
+		t.Fatalf("read 2 (short): n=%d err=%v, want <=1 byte", n, err)
+	}
+	if _, err = r.Read(buf); err != io.EOF {
+		t.Fatalf("read 3: err=%v, want EOF (stream truncated for good)", err)
+	}
+	// Deterministic: identical plan, identical byte count delivered.
+	p2 := &IOPlan{ShortReadAt: 2}
+	r2 := p2.Reader(strings.NewReader(src))
+	total, total2 := 0, 0
+	r = (&IOPlan{ShortReadAt: 2}).Reader(strings.NewReader(src))
+	for {
+		m, err := r.Read(buf)
+		total += m
+		if err != nil {
+			break
+		}
+	}
+	for {
+		m, err := r2.Read(buf)
+		total2 += m
+		if err != nil {
+			break
+		}
+	}
+	if total != total2 {
+		t.Fatalf("short read nondeterministic: %d vs %d bytes", total, total2)
+	}
+}
+
+func TestIOPlanFailAndResetRead(t *testing.T) {
+	r := (&IOPlan{FailReadAt: 1}).Reader(strings.NewReader("data"))
+	if _, err := r.Read(make([]byte, 4)); !errors.Is(err, ErrReadFailed) {
+		t.Fatalf("want ErrReadFailed, got %v", err)
+	}
+	r = (&IOPlan{ResetReadAt: 2}).Reader(strings.NewReader("datadata"))
+	buf := make([]byte, 4)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("read 1 should succeed: %v", err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset on read 2, got %v", err)
+	}
+	// The reset is sticky: retrying the stream keeps failing.
+	if _, err := r.Read(buf); !errors.Is(err, ErrReset) {
+		t.Fatalf("reset not sticky: %v", err)
+	}
+}
+
+func TestIOPlanWriterFaults(t *testing.T) {
+	var sink bytes.Buffer
+	w := (&IOPlan{FailWriteAt: 2}).Writer(&sink)
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := w.Write([]byte("boom")); !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("want ErrWriteFailed, got %v", err)
+	}
+	if sink.String() != "ok" {
+		t.Fatalf("sink = %q, want only the pre-fault write", sink.String())
+	}
+
+	w = (&IOPlan{ResetWriteAt: 1}).Writer(&sink)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got %v", err)
+	}
+}
+
+func TestIOPlanStalls(t *testing.T) {
+	const d = 30 * time.Millisecond
+	r := (&IOPlan{StallReadAt: 1, StallFor: d}).Reader(strings.NewReader("abc"))
+	start := time.Now()
+	if _, err := r.Read(make([]byte, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("stalled read returned after %v, want >= %v", elapsed, d)
+	}
+
+	var sink bytes.Buffer
+	w := (&IOPlan{StallWriteAt: 2, StallEveryWrite: 1, StallFor: d}).Writer(&sink)
+	start = time.Now()
+	w.Write([]byte("a")) // 1st: no stall
+	if elapsed := time.Since(start); elapsed >= d {
+		t.Fatalf("write 1 stalled (%v)", elapsed)
+	}
+	w.Write([]byte("b")) // 2nd: stalls
+	w.Write([]byte("c")) // 3rd: stalls again (every 1)
+	if elapsed := time.Since(start); elapsed < 2*d {
+		t.Fatalf("periodic write stall too short: %v", elapsed)
+	}
+	if sink.String() != "abc" {
+		t.Fatalf("stalls must not drop bytes: %q", sink.String())
+	}
+}

@@ -1,0 +1,445 @@
+// HTTP surface: the check endpoints, the error taxonomy, and the health
+// probes.
+//
+// Error taxonomy (every error response carries the machine-readable
+// X-DC-Error header):
+//
+//	bad-request     400  malformed parameters (unknown analysis, bad number)
+//	bad-trace       400  the upload decodes to no valid trace (magic,
+//	                     version, CRC, truncation)
+//	body-read       400  the request body itself failed mid-stream
+//	                     (connection reset while uploading)
+//	unknown-workload 404 no built-in workload by that name
+//	faults-disabled 403  fault-injection parameters without AllowFaults
+//	too-large       413  body exceeded MaxBodyBytes
+//	queue-full      429  admission queue full; Retry-After hints a backoff
+//	breaker-open    503  the circuit for this workload/trace is open;
+//	                     Retry-After carries the cooldown remainder
+//	draining        503  received while the server drains for shutdown
+//	canceled        499  the client went away mid-check
+//	timeout         504  the check exceeded the request deadline
+//	panic           500  a checker panic was quarantined (X-DC-Panic-Digest
+//	                     carries the stable stack digest)
+//	check-failed    500  the check failed for any other reason
+
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/faultinject"
+	"doublechecker/internal/spec"
+	"doublechecker/internal/supervise"
+	"doublechecker/internal/telemetry"
+	"doublechecker/internal/trace"
+	"doublechecker/internal/vm"
+	"doublechecker/internal/workloads"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a client
+// that disconnected mid-check; net/http has no name for it.
+const StatusClientClosedRequest = 499
+
+// ErrorKindHeader carries the machine-readable error kind; PanicDigestHeader
+// carries the quarantined panic's stable stack digest.
+const (
+	ErrorKindHeader   = "X-DC-Error"
+	PanicDigestHeader = "X-DC-Panic-Digest"
+)
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /check", s.handleCheckTrace)
+	mux.HandleFunc("POST /check/workload", s.handleCheckWorkload)
+	mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// The existing telemetry mux — Prometheus text, expvars, pprof — rides
+	// along on the service port.
+	tm := s.reg.NewMux()
+	mux.Handle("GET /metrics", tm)
+	mux.Handle("GET /debug/", tm)
+	return mux
+}
+
+// writeErr emits one taxonomy error: status, X-DC-Error kind, optional
+// Retry-After hint, human-readable body.
+func (s *Server) writeErr(w http.ResponseWriter, status int, kind, msg string, retryAfter time.Duration) {
+	w.Header().Set(ErrorKindHeader, kind)
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "%s: %s\n", kind, msg)
+}
+
+// admitOrReject runs admission control for one check request, emitting the
+// taxonomy response itself when the request cannot run. The release closure
+// is non-nil exactly when admission succeeded.
+func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) func() {
+	s.reg.Counter(telemetry.ServerRequests).Inc()
+	release, verdict := s.admit(r.Context())
+	switch verdict {
+	case admitOK:
+		s.reg.Counter(telemetry.ServerAdmitted).Inc()
+		return release
+	case admitShed:
+		s.reg.Counter(telemetry.ServerShedQueueFull).Inc()
+		s.writeErr(w, http.StatusTooManyRequests, "queue-full",
+			"admission queue full; retry later", time.Second)
+	case admitDraining:
+		s.reg.Counter(telemetry.ServerShedDraining).Inc()
+		s.writeErr(w, http.StatusServiceUnavailable, "draining",
+			"server is draining", 0)
+	case admitCanceled:
+		s.writeErr(w, StatusClientClosedRequest, "canceled",
+			"client went away while queued", 0)
+	}
+	return nil
+}
+
+// handleCheckTrace checks an uploaded .dct trace: POST /check with the raw
+// trace as the body. Query parameters: analysis (default dc-single), name
+// (the display name in the report; default "upload"), pcd-workers (PCD pool
+// grant to request; default Config.PCDPerRequest). The 200 response body is
+// byte-identical to `dcheck -replay` on the same file.
+func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	analysisName := q.Get("analysis")
+	if analysisName == "" {
+		analysisName = "dc-single"
+	}
+	analysis, err := core.ParseAnalysis(analysisName)
+	if err != nil || analysis == core.Baseline {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad-request",
+			fmt.Sprintf("analysis %q is not replayable", analysisName), 0)
+		return
+	}
+	displayName := q.Get("name")
+	if displayName == "" {
+		displayName = "upload"
+	}
+	want, perr := intParam(q.Get("pcd-workers"), s.cfg.PCDPerRequest)
+	if perr != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad-request", perr.Error(), 0)
+		return
+	}
+
+	release := s.admitOrReject(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	// Decode the bounded body as a stream: the trace reader consumes the
+	// wire format directly, so an over-limit or reset upload fails inside
+	// the decode with the underlying transport error preserved (trace.ErrIO
+	// wraps it) and is classified here without buffering the body.
+	d, err := trace.Read(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			s.writeErr(w, http.StatusRequestEntityTooLarge, "too-large",
+				fmt.Sprintf("trace body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
+		case errors.Is(err, trace.ErrIO):
+			s.writeErr(w, http.StatusBadRequest, "body-read", err.Error(), 0)
+		default:
+			s.writeErr(w, http.StatusBadRequest, "bad-trace", err.Error(), 0)
+		}
+		return
+	}
+
+	key := fmt.Sprintf("trace:%016x.%016x", d.Header.ProgramDigest, d.Header.SpecDigest)
+	s.serveCheck(w, r, key, analysisName, d.Header.Seed,
+		func(ctx context.Context, seed int64) (string, error) {
+			grant := s.pcd.acquire(want)
+			defer s.pcd.release(grant)
+			res, err := core.RunTrace(ctx, d, core.Config{
+				Analysis:   analysis,
+				Telemetry:  s.reg,
+				PCDWorkers: grant,
+			})
+			if err != nil {
+				return "", err
+			}
+			return core.ReplayReport(displayName, d, res), nil
+		})
+}
+
+// handleCheckWorkload checks a named built-in workload: POST
+// /check/workload?name=...&seed=...&analysis=... . With Config.AllowFaults,
+// the deterministic fault-injection parameters panic-at-access,
+// panic-at-txend, stall-at-access and stall-ms inject faults into the
+// checker mid-run — the chaos-testing seam.
+func (s *Server) handleCheckWorkload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad-request", "missing workload name", 0)
+		return
+	}
+	analysisName := q.Get("analysis")
+	if analysisName == "" {
+		analysisName = "dc-single"
+	}
+	analysis, err := core.ParseAnalysis(analysisName)
+	if err != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
+		return
+	}
+	seed, serr := int64Param(q.Get("seed"), 1)
+	want, perr := intParam(q.Get("pcd-workers"), s.cfg.PCDPerRequest)
+	if serr != nil || perr != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad-request", errors.Join(serr, perr).Error(), 0)
+		return
+	}
+	plan, ferr := faultPlan(q)
+	if ferr != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad-request", ferr.Error(), 0)
+		return
+	}
+	if plan != nil && !s.cfg.AllowFaults {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusForbidden, "faults-disabled",
+			"fault-injection parameters require AllowFaults", 0)
+		return
+	}
+	built, err := workloads.Build(name, s.cfg.WorkloadScale)
+	if err != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusNotFound, "unknown-workload", err.Error(), 0)
+		return
+	}
+	sp := spec.Initial(built.Prog)
+	if err := sp.ExcludeByName(built.InitialExclusions...); err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "check-failed", err.Error(), 0)
+		return
+	}
+
+	release := s.admitOrReject(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	s.serveCheck(w, r, "workload:"+name, analysisName, seed,
+		func(ctx context.Context, trialSeed int64) (string, error) {
+			grant := s.pcd.acquire(want)
+			defer s.pcd.release(grant)
+			cfg := core.Config{
+				Analysis:   analysis,
+				Seed:       trialSeed,
+				Sched:      vm.NewSticky(trialSeed, built.Stickiness),
+				Atomic:     sp.Atomic,
+				Telemetry:  s.reg,
+				PCDWorkers: grant,
+			}
+			if plan != nil {
+				cfg.WrapInst = func(inner vm.Instrumentation) vm.Instrumentation {
+					return faultinject.Inst(inner, plan)
+				}
+			}
+			res, err := core.RunContext(ctx, built.Prog, cfg)
+			if err != nil {
+				return "", err
+			}
+			return workloadReport(name, built, trialSeed, res), nil
+		})
+}
+
+// workloadReport renders a live workload check in the same shape as the
+// canonical replay report: an identity line, then core.ViolationSummary.
+func workloadReport(name string, b *workloads.Built, seed int64, res *core.Result) string {
+	return fmt.Sprintf("workload %s: program %s, seed %d, %d methods, %d threads\n%s",
+		name, b.Prog.Name, seed, len(b.Prog.Methods), len(b.Prog.Threads),
+		core.ViolationSummary(b.Prog, res))
+}
+
+// serveCheck runs one admitted check under supervision and writes either
+// the report or the taxonomy error. The attempt closure does the actual
+// work (trace replay or live run) and returns the rendered report.
+func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request, key, analysisName string, seed int64,
+	attempt func(ctx context.Context, seed int64) (string, error)) {
+
+	if ok, retryAfter := s.breaker.Allow(key); !ok {
+		s.reg.Counter(telemetry.ServerBreakerRejected).Inc()
+		s.writeErr(w, http.StatusServiceUnavailable, "breaker-open",
+			fmt.Sprintf("circuit open for %s", key), retryAfter)
+		return
+	}
+
+	// The check's context merges the client's (disconnects abort the work)
+	// with the server's in-flight context (drain's last-resort cancel).
+	ctx, cancel := mergeCancel(r.Context(), s.inflightCtx)
+	defer cancel()
+
+	out, err := supervise.Trial(ctx, supervise.Budget{
+		TrialTimeout: s.cfg.RequestTimeout,
+		Retries:      s.cfg.Retries,
+		RetryBackoff: s.cfg.RetryBackoff,
+		Telemetry:    s.reg,
+	}, analysisName, seed, attempt)
+	if err != nil {
+		// Whole-check abort: the merged context fired. Attribute it.
+		if s.inflightCtx.Err() != nil || s.Draining() {
+			s.reg.Counter(telemetry.ServerShedDraining).Inc()
+			s.writeErr(w, http.StatusServiceUnavailable, "draining",
+				"check canceled by server drain", 0)
+		} else {
+			s.writeErr(w, StatusClientClosedRequest, "canceled",
+				"client went away mid-check", 0)
+		}
+		return
+	}
+	if out.OK {
+		s.breaker.Success(key)
+		s.reg.Counter(telemetry.ServerOK).Inc()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, out.Value)
+		return
+	}
+
+	f := out.LastFailure()
+	switch f.Kind {
+	case supervise.KindPanic:
+		s.reg.Counter(telemetry.ServerPanics).Inc()
+		if s.breaker.Failure(key, f.StackDigest) {
+			s.reg.Counter(telemetry.ServerBreakerTrips).Inc()
+		}
+		w.Header().Set(PanicDigestHeader, f.StackDigest)
+		s.writeErr(w, http.StatusInternalServerError, "panic",
+			fmt.Sprintf("checker panic quarantined (stack %s): %v", f.StackDigest, f.Err), 0)
+	case supervise.KindTimeout:
+		s.reg.Counter(telemetry.ServerTimeouts).Inc()
+		if s.breaker.Failure(key, "timeout") {
+			s.reg.Counter(telemetry.ServerBreakerTrips).Inc()
+		}
+		s.writeErr(w, http.StatusGatewayTimeout, "timeout",
+			fmt.Sprintf("check exceeded %v", s.cfg.RequestTimeout), 0)
+	default:
+		s.writeErr(w, http.StatusInternalServerError, "check-failed", f.String(), 0)
+	}
+}
+
+// mergeCancel returns a context canceled when either parent is done.
+func mergeCancel(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// handleWorkloads lists the built-in workloads, one "name\tdescription"
+// line each.
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, name := range workloads.All() {
+		wl, err := workloads.Get(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\n", wl.Name, wl.Desc)
+	}
+}
+
+// handleHealthz reports liveness: 200 as long as the process serves, with
+// any open circuits listed for operators.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+	open := s.breaker.OpenKeys()
+	sort.Strings(open)
+	for _, k := range open {
+		fmt.Fprintf(w, "breaker open: %s\n", k)
+	}
+}
+
+// handleReadyz reports readiness: 503 once drain starts, so load balancers
+// stop routing before in-flight work finishes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// intParam parses an optional non-negative integer query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad integer parameter %q", s)
+	}
+	return n, nil
+}
+
+// int64Param parses an optional int64 query parameter.
+func int64Param(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer parameter %q", s)
+	}
+	return n, nil
+}
+
+// uintParam parses an optional uint64 query parameter.
+func uintParam(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad count parameter %q", s)
+	}
+	return n, nil
+}
+
+// faultPlan assembles a deterministic fault-injection plan from query
+// parameters; nil when none are present.
+func faultPlan(q interface{ Get(string) string }) (*faultinject.Plan, error) {
+	pa, e1 := uintParam(q.Get("panic-at-access"))
+	pt, e2 := uintParam(q.Get("panic-at-txend"))
+	sa, e3 := uintParam(q.Get("stall-at-access"))
+	ms, e4 := uintParam(q.Get("stall-ms"))
+	if err := errors.Join(e1, e2, e3, e4); err != nil {
+		return nil, err
+	}
+	if pa == 0 && pt == 0 && sa == 0 {
+		return nil, nil
+	}
+	p := &faultinject.Plan{PanicAtAccess: pa, PanicAtTxEnd: pt, StallAtAccess: sa}
+	if sa > 0 {
+		if ms == 0 {
+			ms = 1000
+		}
+		p.StallFor = time.Duration(ms) * time.Millisecond
+	}
+	return p, nil
+}

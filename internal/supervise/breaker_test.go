@@ -1,0 +1,138 @@
+package supervise
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+func testBreaker(c *fakeClock, n int) *Breaker {
+	return NewBreaker(BreakerConfig{Threshold: n, Cooldown: time.Minute, Clock: c.Now})
+}
+
+func TestBreakerOpensAfterThresholdSameDigest(t *testing.T) {
+	c := newFakeClock()
+	b := testBreaker(c, 3)
+	for i := 0; i < 2; i++ {
+		if tripped := b.Failure("w", "digest-a"); tripped {
+			t.Fatalf("failure %d tripped early", i+1)
+		}
+		if ok, _ := b.Allow("w"); !ok {
+			t.Fatalf("closed breaker rejected after %d failures", i+1)
+		}
+	}
+	if !b.Failure("w", "digest-a") {
+		t.Fatal("third same-digest failure did not trip")
+	}
+	if got := b.State("w"); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	ok, retry := b.Allow("w")
+	if ok {
+		t.Fatal("open breaker admitted work")
+	}
+	if retry <= 0 || retry > time.Minute {
+		t.Fatalf("retryAfter = %v, want in (0, cooldown]", retry)
+	}
+	// Other keys are unaffected.
+	if ok, _ := b.Allow("healthy"); !ok {
+		t.Fatal("healthy key rejected")
+	}
+}
+
+func TestBreakerDigestChangeRestartsCount(t *testing.T) {
+	b := testBreaker(newFakeClock(), 2)
+	b.Failure("w", "digest-a")
+	b.Failure("w", "digest-b") // different bug: count restarts at 1
+	if got := b.State("w"); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (digests alternate)", got)
+	}
+	if !b.Failure("w", "digest-b") {
+		t.Fatal("second consecutive digest-b failure should trip")
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := testBreaker(newFakeClock(), 2)
+	b.Failure("w", "d")
+	b.Success("w")
+	if b.Failure("w", "d") {
+		t.Fatal("tripped after success reset the count")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	c := newFakeClock()
+	b := testBreaker(c, 1)
+	b.Failure("w", "d")
+	if ok, _ := b.Allow("w"); ok {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	c.advance(2 * time.Minute)
+	// One probe admitted, concurrent callers rejected while it is in flight.
+	if ok, _ := b.Allow("w"); !ok {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if got := b.State("w"); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if ok, retry := b.Allow("w"); ok || retry != 0 {
+		t.Fatalf("second caller during probe: ok=%v retry=%v, want rejected with 0", ok, retry)
+	}
+	// Probe fails: re-open with a fresh cooldown.
+	if !b.Failure("w", "d") {
+		t.Fatal("probe failure did not re-trip")
+	}
+	if ok, _ := b.Allow("w"); ok {
+		t.Fatal("re-opened breaker admitted immediately")
+	}
+	// Next probe succeeds: circuit closes fully.
+	c.advance(2 * time.Minute)
+	if ok, _ := b.Allow("w"); !ok {
+		t.Fatal("second probe not admitted")
+	}
+	b.Success("w")
+	if got := b.State("w"); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if ok, _ := b.Allow("w"); !ok {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func TestBreakerOpenKeys(t *testing.T) {
+	b := testBreaker(newFakeClock(), 1)
+	b.Failure("zeta", "d")
+	b.Failure("alpha", "d")
+	b.Failure("closed-key", "d") // threshold 1: also opens
+	b.Success("closed-key")      // ...but success clears it
+	got := b.OpenKeys()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("OpenKeys = %v, want [alpha zeta]", got)
+	}
+}
+
+func TestBackoffFor(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	wants := map[int]time.Duration{
+		1: 0, // first attempt never waits
+		2: 10 * time.Millisecond,
+		3: 20 * time.Millisecond,
+		4: 40 * time.Millisecond,
+		5: 80 * time.Millisecond,
+		6: 80 * time.Millisecond, // capped
+	}
+	for attempt, want := range wants {
+		if got := BackoffFor(base, max, attempt); got != want {
+			t.Errorf("BackoffFor(attempt=%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	if got := BackoffFor(0, max, 5); got != 0 {
+		t.Errorf("zero base should disable backoff, got %v", got)
+	}
+}

@@ -128,12 +128,63 @@ func (f TrialFailure) String() string {
 // the check's own seed range.
 const DefaultSeedStride = 7919
 
+// DefaultMaxBackoff caps exponential retry backoff when Budget.MaxRetryBackoff
+// is zero.
+const DefaultMaxBackoff = 30 * time.Second
+
+// BackoffFor returns the pause before retry attempt a (a >= 2): base doubled
+// per retry past the first, capped at max. It is exported so other retry
+// loops (the checking service's transient-failure path) pace themselves
+// exactly like Trial does.
+func BackoffFor(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt < 2 {
+		return 0
+	}
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	d := base
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepCtx pauses for d, returning early with the context's error when ctx
+// is done first. A non-positive d returns immediately.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Budget bounds one supervised trial.
 type Budget struct {
 	// TrialTimeout is the per-attempt wall-clock budget; 0 means unbounded.
 	TrialTimeout time.Duration
 	// Retries is how many extra attempts a Transient failure earns.
 	Retries int
+	// RetryBackoff is the pause before the first retry; each further retry
+	// doubles it (capped at MaxRetryBackoff). 0 retries immediately. The
+	// pause is context-aware: cancellation during a backoff aborts the trial
+	// promptly with ErrCanceled instead of consuming the retry.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the doubled backoff; 0 means DefaultMaxBackoff.
+	MaxRetryBackoff time.Duration
 	// SeedStride is added to the seed on each retry; 0 means
 	// DefaultSeedStride.
 	SeedStride int64
@@ -188,6 +239,13 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 	}
 	for a := 1; ; a++ {
 		if cerr := ctx.Err(); cerr != nil {
+			return out, fmt.Errorf("%w: %w", ErrCanceled, cerr)
+		}
+		// Pace retries: a transient failure earns another attempt only after
+		// a doubling pause, and a cancellation that lands inside the pause
+		// aborts the trial without consuming the retry (Attempts stays at the
+		// failed attempt's count and no rotated seed is burned).
+		if cerr := sleepCtx(ctx, BackoffFor(b.RetryBackoff, b.MaxRetryBackoff, a)); cerr != nil {
 			return out, fmt.Errorf("%w: %w", ErrCanceled, cerr)
 		}
 		s := seed + int64(a-1)*stride

@@ -163,6 +163,83 @@ func TestTrialCancellationMidTrialIsNotATimeout(t *testing.T) {
 	}
 }
 
+// TestTrialCancellationRacingRetry: a context canceled between a transient
+// failure and its retry must abort the trial promptly, classified as a
+// cancellation (never retried as if transient), without burning a retry or a
+// rotated seed on the canceled attempt.
+func TestTrialCancellationRacingRetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var seeds []int64
+	start := time.Now()
+	out, err := Trial(ctx, Budget{Retries: 5, RetryBackoff: time.Hour}, "test", 1,
+		func(_ context.Context, seed int64) (int, error) {
+			seeds = append(seeds, seed)
+			cancel() // cancellation lands after the failure, before the retry
+			return 0, vm.ErrDeadlock
+		})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !Transient(err) == false {
+		t.Fatalf("cancellation classified transient: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation did not interrupt the backoff pause (took %v)", elapsed)
+	}
+	if len(seeds) != 1 || seeds[0] != 1 {
+		t.Fatalf("canceled trial consumed rotated seeds: ran %v", seeds)
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("canceled trial recorded %d attempts, want 1", out.Attempts)
+	}
+}
+
+// TestTrialCanceledAttemptDoesNotConsumeRetryBudget: when the parent context
+// dies mid-attempt, the failing attempt is reported as a cancellation — the
+// retry budget and the seed rotation stay untouched, so a later caller (the
+// service retrying after drain, say) still has its full budget.
+func TestTrialCanceledAttemptDoesNotConsumeRetryBudget(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	out, err := Trial(ctx, Budget{Retries: 3}, "test", 42,
+		func(_ context.Context, _ int64) (int, error) {
+			calls++
+			cancel()
+			return 0, vm.ErrStepLimit // transient on its face, but the check is dead
+		})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("canceled check retried: attempt ran %d times", calls)
+	}
+	if len(out.Failures) != 0 {
+		t.Fatalf("cancellation recorded as a trial failure: %+v", out.Failures)
+	}
+}
+
+func TestTrialRetryBackoffPacesAttempts(t *testing.T) {
+	const base = 20 * time.Millisecond
+	var times []time.Time
+	out, err := Trial(context.Background(), Budget{Retries: 2, RetryBackoff: base}, "test", 1,
+		func(_ context.Context, _ int64) (int, error) {
+			times = append(times, time.Now())
+			if len(times) < 3 {
+				return 0, vm.ErrDeadlock
+			}
+			return 1, nil
+		})
+	if err != nil || !out.OK || out.Attempts != 3 {
+		t.Fatalf("outcome: %+v, err %v", out, err)
+	}
+	if gap := times[1].Sub(times[0]); gap < base {
+		t.Errorf("first retry after %v, want >= %v", gap, base)
+	}
+	if gap := times[2].Sub(times[1]); gap < 2*base {
+		t.Errorf("second retry after %v, want >= %v (doubled)", gap, 2*base)
+	}
+}
+
 func TestClassifyAndTransient(t *testing.T) {
 	cases := []struct {
 		err       error

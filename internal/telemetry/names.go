@@ -66,6 +66,23 @@ const (
 	CostPeak  = "cost.peak_bytes"
 	CostOOM   = "cost.oom"
 
+	// Checking service (internal/server): request lifecycle, admission
+	// control, circuit breaking, and drain. Counters unless noted.
+	ServerRequests        = "server.requests"           // every check request received
+	ServerAdmitted        = "server.admitted"           // passed admission (queued or ran)
+	ServerOK              = "server.ok"                 // served a report
+	ServerShedQueueFull   = "server.shed.queue_full"    // 429: admission queue full
+	ServerShedDraining    = "server.shed.draining"      // 503: received during drain
+	ServerBadRequests     = "server.bad_requests"       // 4xx: corrupt trace, bad params
+	ServerPanics          = "server.quarantined_panics" // 500: checker panic absorbed
+	ServerTimeouts        = "server.timeouts"           // 504: request deadline exceeded
+	ServerBreakerTrips    = "server.breaker.trips"      // circuits opened
+	ServerBreakerRejected = "server.breaker.rejected"   // 503: key quarantined
+	ServerInFlight        = "server.in_flight"          // gauge: checks running now
+	ServerQueueDepth      = "server.queue_depth"        // gauge: requests waiting for a slot
+	ServerPCDBudgetInUse  = "server.pcd_budget_in_use"  // gauge: PCD workers granted
+	ServerDraining        = "server.draining"           // gauge: 1 while draining
+
 	// Supervision outcomes (internal/supervise).
 	SuperviseAttempts   = "supervise.attempts"
 	SuperviseRetries    = "supervise.retries"

@@ -111,24 +111,34 @@ func readChunk(in io.ByteReader, full io.Reader) (payload []byte, ok bool, err e
 		if err == io.EOF {
 			return nil, false, fmt.Errorf("%w: missing end marker", ErrTruncated)
 		}
-		return nil, false, fmt.Errorf("%w: chunk length: %v", ErrCorrupt, err)
+		return nil, false, readErr(err, "chunk length cut short")
 	}
 	if n == 0 {
 		return nil, false, nil
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(full, crcb[:]); err != nil {
-		return nil, false, fmt.Errorf("%w: chunk CRC cut short", ErrTruncated)
+		return nil, false, readErr(err, "chunk CRC cut short")
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(full, payload); err != nil {
-		return nil, false, fmt.Errorf("%w: chunk payload cut short (want %d bytes)", ErrTruncated, n)
+		return nil, false, readErr(err, fmt.Sprintf("chunk payload cut short (want %d bytes)", n))
 	}
 	want := binary.LittleEndian.Uint32(crcb[:])
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return nil, false, fmt.Errorf("%w: chunk CRC mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
 	}
 	return payload, true, nil
+}
+
+// readErr classifies an underlying read failure: a stream that simply ends
+// (EOF-shaped) is a truncated file, anything else is a transport fault
+// (ErrIO) with the real error preserved in the wrap chain.
+func readErr(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+	return fmt.Errorf("%w: %s: %w", ErrIO, what, err)
 }
 
 // encodeProgram serializes prog structurally — IDs are preserved exactly, so

@@ -66,6 +66,13 @@ var (
 	ErrCorrupt = errors.New("trace: corrupt")
 	// ErrTruncated reports a trace that ends before its end marker.
 	ErrTruncated = errors.New("trace: truncated")
+	// ErrIO reports that the underlying reader itself failed mid-stream —
+	// a transport fault (connection reset, body limit, disk error) rather
+	// than a malformed file. The underlying error is wrapped alongside, so
+	// errors.Is/As can still see it (e.g. http.MaxBytesError, an injected
+	// reset): a service can map ErrIO to a client/transport verdict and the
+	// other decode errors to "bad trace file".
+	ErrIO = errors.New("trace: read failed")
 )
 
 // EventKind enumerates replayable events.

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"testing/iotest"
 
 	"doublechecker/internal/core"
+	"doublechecker/internal/faultinject"
 	"doublechecker/internal/trace"
 	"doublechecker/internal/vm"
 	"doublechecker/internal/workloads"
@@ -221,6 +223,37 @@ func TestTruncatedTrace(t *testing.T) {
 	_, err := trace.Read(bytes.NewReader(raw[:len(raw)-5]))
 	if err == nil {
 		t.Fatal("missing trailer accepted")
+	}
+}
+
+// TestReaderIOFaults: a reader whose underlying stream fails mid-decode
+// (connection reset, transport error) reports ErrIO with the cause in the
+// wrap chain — distinguishable from a truncated or corrupt file — while a
+// stream that merely ends early stays classified as truncation.
+func TestReaderIOFaults(t *testing.T) {
+	prog, atomic := workloads.Random(7)
+	_, raw := record(t, prog, atomic, core.DCFirst, 7)
+
+	// Mid-stream reset: ErrIO wrapping the injected reset. OneByteReader
+	// makes every byte its own Read call, so the fault's position in the
+	// file is exact regardless of internal buffer sizes.
+	plan := &faultinject.IOPlan{ResetReadAt: 10}
+	_, err := trace.Read(plan.Reader(iotest.OneByteReader(bytes.NewReader(raw))))
+	if !errors.Is(err, trace.ErrIO) {
+		t.Fatalf("reset mid-decode: got %v, want ErrIO", err)
+	}
+	if !errors.Is(err, faultinject.ErrReset) {
+		t.Fatalf("underlying reset lost from wrap chain: %v", err)
+	}
+	if errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("transport fault misclassified as bad file: %v", err)
+	}
+
+	// Short read (stream ends early): plain truncation, not ErrIO.
+	plan = &faultinject.IOPlan{ShortReadAt: 40}
+	_, err = trace.Read(plan.Reader(iotest.OneByteReader(bytes.NewReader(raw))))
+	if err == nil || errors.Is(err, trace.ErrIO) {
+		t.Fatalf("short stream: got %v, want a non-ErrIO decode failure", err)
 	}
 }
 
