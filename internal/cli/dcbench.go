@@ -27,7 +27,7 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 	fs.SetOutput(stderr)
 	var (
 		experiment = fs.String("experiment", "all",
-			"one of: table2, fig7, table3, refine-overhead, arrays, ablations, filter-precision, pcd-only, telemetry, parallelpcd, all")
+			"one of: table2, fig7, table3, refine-overhead, arrays, ablations, filter-precision, pcd-only, telemetry, parallelpcd, servecache, all")
 		scale      = fs.Float64("scale", 0.5, "workload scale factor")
 		trials     = fs.Int("trials", 5, "performance trials per configuration")
 		stable     = fs.Int("stable", 4, "consecutive quiet trials ending refinement (paper: 10)")
@@ -37,6 +37,7 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 		budget     = fs.Int64("budget-kb", 0, "model a heap limit: flag Figure 7 rows whose live analysis bytes exceed this (KiB)")
 		telOut     = fs.String("telemetry-out", "BENCH_telemetry.json", "output path for the telemetry experiment's JSON dump")
 		parOut     = fs.String("parallelpcd-out", "BENCH_parallelpcd.json", "output path for the parallelpcd experiment's JSON dump (determinism section also written alongside as .det.json)")
+		cacheOut   = fs.String("servecache-out", "BENCH_servecache.json", "output path for the servecache experiment's JSON dump")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,14 +58,14 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 			return 1
 		}
 	}
-	if code := runExperiments(ctx, *experiment, *csvDir, *telOut, *parOut, eval.NewRunner(opts), stdout, stderr); code != 0 {
+	if code := runExperiments(ctx, *experiment, *csvDir, *telOut, *parOut, *cacheOut, eval.NewRunner(opts), stdout, stderr); code != 0 {
 		return code
 	}
 	return 0
 }
 
 // runExperiments dispatches the experiment set; split out for testing.
-func runExperiments(ctx context.Context, experiment, csvDir, telOut, parOut string, runner *eval.Runner, stdout, stderr io.Writer) int {
+func runExperiments(ctx context.Context, experiment, csvDir, telOut, parOut, cacheOut string, runner *eval.Runner, stdout, stderr io.Writer) int {
 	writeCSV := func(name, content string) bool {
 		if csvDir == "" {
 			return true
@@ -217,6 +218,20 @@ func runExperiments(ctx context.Context, experiment, csvDir, telOut, parOut stri
 			}
 			fmt.Fprintf(stdout, "[wrote %s and %s]\n", parOut, detPath)
 			return d.RenderParallelPCD(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "servecache") {
+		ok = run("servecache", func() (string, error) {
+			d, err := runner.ServeCache()
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(cacheOut, d.JSON(), 0o644); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(stdout, "[wrote %s]\n", cacheOut)
+			return d.RenderServeCache(), nil
 		})
 		ran = true
 	}

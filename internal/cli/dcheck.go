@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"doublechecker/internal/cost"
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
+	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/trace"
@@ -50,8 +52,9 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		maxSteps     = fs.Uint64("max-steps", 0, "step budget per execution (0: VM default)")
 		retries      = fs.Int("retries", 1, "extra attempts (rotated seeds) after a deadlock or step-limit trial")
 
-		record = fs.String("record", "", "record the execution's event stream to this .dct trace file (requires -trials 1)")
-		replay = fs.Bool("replay", false, "treat the argument as a .dct trace and re-check it without executing")
+		record   = fs.String("record", "", "record the execution's event stream to this .dct trace file (requires -trials 1)")
+		replay   = fs.Bool("replay", false, "treat the argument as a .dct trace and re-check it without executing")
+		cacheDir = fs.String("cache-dir", "", "with -replay: content-addressed result store directory; hits skip the check")
 
 		pcdWorkers = fs.Int("pcd-workers", 0,
 			"PCD replay worker pool size; >=2 checks SCCs concurrently off the critical path (0/1: in-line serial replay)")
@@ -87,12 +90,16 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		fmt.Fprintln(stderr, "dcheck: -replay is incompatible with -refine, -lint, -cost, -dot and -v")
 		return 2
 	}
+	if *cacheDir != "" && !*replay {
+		fmt.Fprintln(stderr, "dcheck: -cache-dir requires -replay")
+		return 2
+	}
 	err := runDCheck(ctx, dcheckOpts{
 		path: fs.Arg(0), analysis: *analysisName, seed: *seed, trials: *trials,
 		sticky: *sticky, refine: *refine, lintOnly: *lint, costly: *costly,
 		verbose: *verbose, dot: *dot,
 		trialTimeout: *trialTimeout, maxSteps: *maxSteps, retries: *retries,
-		record: *record, replay: *replay, pcdWorkers: *pcdWorkers,
+		record: *record, replay: *replay, cacheDir: *cacheDir, pcdWorkers: *pcdWorkers,
 		statsJSON: *statsJSON, metricsAddr: *metricsAddr,
 	}, stdout, stderr)
 	if err != nil {
@@ -114,6 +121,7 @@ type dcheckOpts struct {
 	retries                                int
 	record                                 string
 	replay                                 bool
+	cacheDir                               string
 	pcdWorkers                             int
 	statsJSON                              bool
 	metricsAddr                            string
@@ -289,19 +297,74 @@ func printViolationSummary(stdout io.Writer, prog *vm.Program, res *core.Result)
 }
 
 // runDCheckReplay re-checks a recorded trace: the positional argument is a
-// .dct file and the analysis consumes its event stream with no VM.
+// .dct file and the analysis consumes its event stream with no VM. With
+// -cache-dir, results are read from and written to a content-addressed
+// store; a hit renders the identical report without running the check.
 func runDCheckReplay(ctx context.Context, o dcheckOpts, reg *telemetry.Registry, stdout io.Writer) error {
 	analysis, err := core.ParseAnalysis(o.analysis)
 	if err != nil {
 		return err
 	}
-	d, err := trace.ReadFile(o.path)
+	if o.cacheDir == "" {
+		d, err := trace.ReadFile(o.path)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, Telemetry: reg, PCDWorkers: o.pcdWorkers})
+		if err != nil {
+			return err
+		}
+		io.WriteString(stdout, core.ReplayReport(o.path, d, res))
+		if o.statsJSON {
+			stdout.Write(res.Telemetry.Deterministic().JSON())
+		}
+		return nil
+	}
+
+	// Cached replay is byte-addressed: the file is read once, the header
+	// plus a raw-byte digest form the key, and the full decode only happens
+	// on a miss. The one-shot store skips the memory tier (this process
+	// serves no second request) and keeps its own counters out of the run's
+	// telemetry snapshot.
+	raw, err := os.ReadFile(o.path)
 	if err != nil {
 		return err
+	}
+	hdr, rest, err := trace.PeekHeader(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.path, err)
+	}
+	cache, err := store.Open(store.Config{Dir: o.cacheDir})
+	if err != nil {
+		return err
+	}
+	key := store.TraceKey(hdr, store.BodyDigest(raw), o.analysis)
+	// -stats-json reports the metrics of an actual run; a cache hit has
+	// none, so the lookup is skipped and the run's result is still stored.
+	if !o.statsJSON {
+		if e, ok := cache.Get(key); ok {
+			io.WriteString(stdout, core.ReplayReportFrom(
+				o.path, e.Program, e.Key.Seed, e.Events, e.Key.Source, e.Violations, e.Blamed))
+			return nil
+		}
+	}
+	d, err := trace.Read(rest)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.path, err)
 	}
 	res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, Telemetry: reg, PCDWorkers: o.pcdWorkers})
 	if err != nil {
 		return err
+	}
+	if len(res.PCDQuarantined) == 0 {
+		if err := cache.Put(key, &store.Entry{
+			Program:    d.Header.Program.Name,
+			Events:     d.Counts.Total(),
+			Violations: len(res.Violations),
+			Blamed:     res.BlamedMethodNames(d.Header.Program),
+		}); err != nil {
+			return err
+		}
 	}
 	io.WriteString(stdout, core.ReplayReport(o.path, d, res))
 	if o.statsJSON {

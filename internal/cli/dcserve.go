@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"doublechecker/internal/server"
+	"doublechecker/internal/store"
+	"doublechecker/internal/telemetry"
 )
 
 // DCServe runs the dcserve command: parse flags, serve until the context is
@@ -39,6 +41,12 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.Retries, "retries", 1, "extra attempts a transient check failure earns")
 	fs.Float64Var(&cfg.WorkloadScale, "scale", server.DefaultWorkloadScale, "scale factor for named workload checks")
 	fs.BoolVar(&cfg.AllowFaults, "allow-faults", false, "enable deterministic fault-injection query parameters (chaos testing only)")
+	var (
+		cacheMem  = fs.Int64("cache-mem", store.DefaultMemBudget, "result-store memory tier byte budget (0 disables the tier)")
+		cacheDir  = fs.String("cache-dir", "", "result-store disk tier directory (empty disables the tier)")
+		cacheDisk = fs.Int64("cache-disk", 0, "result-store disk tier byte budget (0: unbounded)")
+		noCache   = fs.Bool("no-cache", false, "disable the result store entirely (every check runs cold)")
+	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,6 +56,24 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.RequestTimeout = *req
 	cfg.DrainTimeout = *drn
+
+	// The result store is on by default (memory tier only); -cache-dir adds
+	// the persistent tier, -no-cache turns the whole thing off. Store and
+	// server share one registry so /metrics shows store.* beside server.*.
+	if !*noCache && (*cacheMem > 0 || *cacheDir != "") {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cache, err := store.Open(store.Config{
+			Dir:        *cacheDir,
+			MemBudget:  *cacheMem,
+			DiskBudget: *cacheDisk,
+			Telemetry:  cfg.Telemetry,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "dcserve: %v\n", err)
+			return 1
+		}
+		cfg.Cache = cache
+	}
 
 	s := server.New(cfg)
 	ln, err := net.Listen("tcp", *addr)

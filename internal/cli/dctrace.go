@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -17,6 +18,7 @@ import (
 	"doublechecker/internal/core"
 	"doublechecker/internal/lang"
 	"doublechecker/internal/spec"
+	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/trace"
@@ -424,6 +426,7 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 		pcdWorkers   = fs.Int("pcd-workers", 0, "PCD replay worker pool size per trace; >=2 checks SCCs concurrently (0/1: serial)")
 		timeout      = fs.Duration("trace-timeout", 0, "wall-clock budget per trace (0: unbounded)")
 		statsJSON    = fs.Bool("stats-json", false, "print each trace's telemetry snapshot as JSON (deterministic: span wall times stripped)")
+		cacheDir     = fs.String("cache-dir", "", "content-addressed result store directory; hits skip the check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
@@ -441,22 +444,78 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 	if err != nil {
 		return err
 	}
+	// One store shared by every worker in the fan-out (its methods are
+	// concurrency-safe); -stats-json reports real-run metrics, so it forces
+	// every trace cold while still writing results back.
+	var cache *store.Store
+	if *cacheDir != "" {
+		cache, err = store.Open(store.Config{Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+	}
+	replayLine := func(path string, violations int, blamed []string) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: %d violation(s)", path, violations)
+		if len(blamed) > 0 {
+			fmt.Fprintf(&b, ", blamed %v", blamed)
+		}
+		b.WriteString("\n")
+		return b.String()
+	}
 	return runTraceJobs(ctx, paths, *workers, *timeout, "replay-"+analysis.String(),
 		func(ctx context.Context, path string) (string, bool, error) {
-			d, err := trace.ReadFile(path)
+			if cache == nil {
+				d, err := trace.ReadFile(path)
+				if err != nil {
+					return "", false, err
+				}
+				res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, PCDWorkers: *pcdWorkers})
+				if err != nil {
+					return "", false, err
+				}
+				var b strings.Builder
+				b.WriteString(replayLine(path, len(res.Violations), res.BlamedMethodNames(d.Header.Program)))
+				if *statsJSON {
+					b.Write(res.Telemetry.Deterministic().JSON())
+				}
+				return b.String(), false, nil
+			}
+
+			raw, err := os.ReadFile(path)
 			if err != nil {
 				return "", false, err
+			}
+			hdr, rest, err := trace.PeekHeader(bytes.NewReader(raw))
+			if err != nil {
+				return "", false, fmt.Errorf("%s: %w", path, err)
+			}
+			key := store.TraceKey(hdr, store.BodyDigest(raw), *analysisName)
+			if !*statsJSON {
+				if e, ok := cache.Get(key); ok {
+					return replayLine(path, e.Violations, e.Blamed), false, nil
+				}
+			}
+			d, err := trace.Read(rest)
+			if err != nil {
+				return "", false, fmt.Errorf("%s: %w", path, err)
 			}
 			res, err := core.RunTrace(ctx, d, core.Config{Analysis: analysis, PCDWorkers: *pcdWorkers})
 			if err != nil {
 				return "", false, err
 			}
-			var b strings.Builder
-			fmt.Fprintf(&b, "%s: %d violation(s)", path, len(res.Violations))
-			if names := res.BlamedMethodNames(d.Header.Program); len(names) > 0 {
-				fmt.Fprintf(&b, ", blamed %v", names)
+			if len(res.PCDQuarantined) == 0 {
+				if err := cache.Put(key, &store.Entry{
+					Program:    d.Header.Program.Name,
+					Events:     d.Counts.Total(),
+					Violations: len(res.Violations),
+					Blamed:     res.BlamedMethodNames(d.Header.Program),
+				}); err != nil {
+					return "", false, err
+				}
 			}
-			b.WriteString("\n")
+			var b strings.Builder
+			b.WriteString(replayLine(path, len(res.Violations), res.BlamedMethodNames(d.Header.Program)))
 			if *statsJSON {
 				b.Write(res.Telemetry.Deterministic().JSON())
 			}

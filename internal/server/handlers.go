@@ -25,9 +25,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -36,6 +38,7 @@ import (
 	"doublechecker/internal/core"
 	"doublechecker/internal/faultinject"
 	"doublechecker/internal/spec"
+	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/trace"
@@ -48,10 +51,12 @@ import (
 const StatusClientClosedRequest = 499
 
 // ErrorKindHeader carries the machine-readable error kind; PanicDigestHeader
-// carries the quarantined panic's stable stack digest.
+// carries the quarantined panic's stable stack digest; CacheHeader reports
+// how a trace check was satisfied when the result store is enabled.
 const (
 	ErrorKindHeader   = "X-DC-Error"
 	PanicDigestHeader = "X-DC-Panic-Digest"
+	CacheHeader       = "X-DC-Cache" // hit | miss | coalesced
 )
 
 func (s *Server) routes() *http.ServeMux {
@@ -85,37 +90,91 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, kind, msg string, r
 	fmt.Fprintf(w, "%s: %s\n", kind, msg)
 }
 
-// admitOrReject runs admission control for one check request, emitting the
-// taxonomy response itself when the request cannot run. The release closure
-// is non-nil exactly when admission succeeded.
-func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) func() {
-	s.reg.Counter(telemetry.ServerRequests).Inc()
-	release, verdict := s.admit(r.Context())
+// checkFail is one taxonomy failure carried as a value: the singleflight
+// leader hands it to coalesced waiters through the store's Flight, and the
+// write is deferred to whichever request ends up responding.
+type checkFail struct {
+	status      int
+	kind        string
+	msg         string
+	retryAfter  time.Duration
+	panicDigest string
+}
+
+// Error makes a checkFail transportable through store.Finish's error slot.
+func (f *checkFail) Error() string { return f.kind + ": " + f.msg }
+
+// writeFail emits one checkFail as its taxonomy response.
+func (s *Server) writeFail(w http.ResponseWriter, f *checkFail) {
+	if f.panicDigest != "" {
+		w.Header().Set(PanicDigestHeader, f.panicDigest)
+	}
+	s.writeErr(w, f.status, f.kind, f.msg, f.retryAfter)
+}
+
+// writeReport emits one successful check report; cacheState tags the
+// response with X-DC-Cache when the result store is in play ("" omits it).
+func (s *Server) writeReport(w http.ResponseWriter, cacheState, report string) {
+	s.reg.Counter(telemetry.ServerOK).Inc()
+	if cacheState != "" {
+		w.Header().Set(CacheHeader, cacheState)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, report)
+}
+
+// writeCached renders a stored entry as the canonical replay report — the
+// shared core renderer guarantees the bytes match a cold run — under the
+// caller's own display name, which is never cached.
+func (s *Server) writeCached(w http.ResponseWriter, name string, e *store.Entry, cacheState string) {
+	s.writeReport(w, cacheState, core.ReplayReportFrom(
+		name, e.Program, e.Key.Seed, e.Events, e.Key.Source, e.Violations, e.Blamed))
+}
+
+// admitFail runs admission control, converting a rejection into its
+// taxonomy failure. The release closure is non-nil exactly when admission
+// succeeded. Draining rejections carry a Retry-After of the drain deadline
+// — the longest this instance can linger before a replacement serves.
+func (s *Server) admitFail(ctx context.Context) (func(), *checkFail) {
+	release, verdict := s.admit(ctx)
 	switch verdict {
 	case admitOK:
 		s.reg.Counter(telemetry.ServerAdmitted).Inc()
-		return release
+		return release, nil
 	case admitShed:
 		s.reg.Counter(telemetry.ServerShedQueueFull).Inc()
-		s.writeErr(w, http.StatusTooManyRequests, "queue-full",
-			"admission queue full; retry later", time.Second)
+		return nil, &checkFail{status: http.StatusTooManyRequests, kind: "queue-full",
+			msg: "admission queue full; retry later", retryAfter: time.Second}
 	case admitDraining:
 		s.reg.Counter(telemetry.ServerShedDraining).Inc()
-		s.writeErr(w, http.StatusServiceUnavailable, "draining",
-			"server is draining", 0)
-	case admitCanceled:
-		s.writeErr(w, StatusClientClosedRequest, "canceled",
-			"client went away while queued", 0)
+		return nil, &checkFail{status: http.StatusServiceUnavailable, kind: "draining",
+			msg: "server is draining", retryAfter: s.cfg.DrainTimeout}
+	default: // admitCanceled
+		return nil, &checkFail{status: StatusClientClosedRequest, kind: "canceled",
+			msg: "client went away while queued"}
 	}
-	return nil
+}
+
+// admitOrReject is admitFail with the rejection written directly — the
+// path for requests with no waiters to share the verdict with.
+func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) func() {
+	release, cf := s.admitFail(r.Context())
+	if cf != nil {
+		s.writeFail(w, cf)
+		return nil
+	}
+	return release
 }
 
 // handleCheckTrace checks an uploaded .dct trace: POST /check with the raw
 // trace as the body. Query parameters: analysis (default dc-single), name
 // (the display name in the report; default "upload"), pcd-workers (PCD pool
 // grant to request; default Config.PCDPerRequest). The 200 response body is
-// byte-identical to `dcheck -replay` on the same file.
+// byte-identical to `dcheck -replay` on the same file — whether computed
+// cold, served from the result store, or coalesced onto another request's
+// in-flight run.
 func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter(telemetry.ServerRequests).Inc()
 	q := r.URL.Query()
 	analysisName := q.Get("analysis")
 	if analysisName == "" {
@@ -139,47 +198,169 @@ func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release := s.admitOrReject(w, r)
-	if release == nil {
+	// Buffer the bounded body: the cache key hashes the raw bytes, and it
+	// must exist before admission so hits can bypass the queue entirely. An
+	// over-limit upload fails inside ReadAll with MaxBytesError; a reset
+	// upload surfaces the transport error directly.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge, "too-large",
+				fmt.Sprintf("trace body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
+		} else {
+			s.writeErr(w, http.StatusBadRequest, "body-read", err.Error(), 0)
+		}
+		return
+	}
+	// The header alone prices the request: it carries the breaker key (the
+	// trace's program+spec identity) and, with the raw-byte digest, the
+	// cache key — full event decode waits until a check actually runs.
+	hdr, rest, err := trace.PeekHeader(bytes.NewReader(body))
+	if err != nil {
+		s.reg.Counter(telemetry.ServerBadRequests).Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad-trace", err.Error(), 0)
+		return
+	}
+	bkey := fmt.Sprintf("trace:%016x.%016x", hdr.ProgramDigest, hdr.SpecDigest)
+
+	if s.cache == nil {
+		release := s.admitOrReject(w, r)
+		if release == nil {
+			return
+		}
+		defer release()
+		d, err := trace.Read(rest)
+		if err != nil {
+			s.reg.Counter(telemetry.ServerBadRequests).Inc()
+			s.writeErr(w, http.StatusBadRequest, "bad-trace", err.Error(), 0)
+			return
+		}
+		report, cf := runSupervised(s, r, bkey, analysisName, hdr.Seed,
+			func(ctx context.Context, seed int64) (string, error) {
+				res, err := s.runTrace(ctx, d, analysis, want)
+				if err != nil {
+					return "", err
+				}
+				return core.ReplayReport(displayName, d, res), nil
+			})
+		if cf != nil {
+			s.writeFail(w, cf)
+			return
+		}
+		s.writeReport(w, "", report)
+		return
+	}
+
+	ckey := store.TraceKey(hdr, store.BodyDigest(body), analysisName)
+	for {
+		entry, flight, leader := s.cache.Lookup(ckey)
+		switch {
+		case entry != nil:
+			s.writeCached(w, displayName, entry, "hit")
+			return
+		case leader:
+			s.leadCheck(w, r, ckey, flight, bkey, analysisName, analysis, body, displayName, want)
+			return
+		}
+		// Coalesced waiter: block on the leader's flight, the drain signal,
+		// or our own client going away — whichever fires first.
+		select {
+		case <-flight.Done():
+			e, ferr := flight.Result()
+			if e != nil {
+				s.writeCached(w, displayName, e, "coalesced")
+				return
+			}
+			cf, ok := ferr.(*checkFail)
+			if !ok {
+				s.writeErr(w, http.StatusInternalServerError, "check-failed", ferr.Error(), 0)
+				return
+			}
+			// A canceled leader says nothing about this request — its
+			// *own* client went away. Unless we are draining or dead too,
+			// loop: re-lookup and, if still missing, run the check
+			// ourselves as the new leader.
+			if cf.kind == "canceled" && r.Context().Err() == nil && !s.Draining() {
+				continue
+			}
+			s.writeFail(w, cf)
+			return
+		case <-s.drainCh:
+			s.reg.Counter(telemetry.ServerShedDraining).Inc()
+			s.writeErr(w, http.StatusServiceUnavailable, "draining",
+				"server is draining", s.cfg.DrainTimeout)
+			return
+		case <-r.Context().Done():
+			s.writeErr(w, StatusClientClosedRequest, "canceled",
+				"client went away while coalesced", 0)
+			return
+		}
+	}
+}
+
+// runTrace replays one decoded trace under the shared PCD budget.
+func (s *Server) runTrace(ctx context.Context, d *trace.Data, analysis core.Analysis, want int) (*core.Result, error) {
+	grant := s.pcd.acquire(want)
+	defer s.pcd.release(grant)
+	return core.RunTrace(ctx, d, core.Config{
+		Analysis:   analysis,
+		Telemetry:  s.reg,
+		PCDWorkers: grant,
+	})
+}
+
+// leadCheck is the singleflight leader's path: admit, decode, run the
+// check, publish the result to the store and the flight's waiters, then
+// answer its own request as a miss. Every exit calls Finish exactly once —
+// an abandoned flight would strand its waiters until drain.
+func (s *Server) leadCheck(w http.ResponseWriter, r *http.Request, ckey store.Key, flight *store.Flight,
+	bkey, analysisName string, analysis core.Analysis, body []byte, displayName string, want int) {
+
+	fail := func(cf *checkFail) {
+		s.cache.Finish(ckey, flight, nil, cf)
+		s.writeFail(w, cf)
+	}
+
+	release, cf := s.admitFail(r.Context())
+	if cf != nil {
+		fail(cf)
 		return
 	}
 	defer release()
 
-	// Decode the bounded body as a stream: the trace reader consumes the
-	// wire format directly, so an over-limit or reset upload fails inside
-	// the decode with the underlying transport error preserved (trace.ErrIO
-	// wraps it) and is classified here without buffering the body.
-	d, err := trace.Read(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	d, err := trace.Read(bytes.NewReader(body))
 	if err != nil {
 		s.reg.Counter(telemetry.ServerBadRequests).Inc()
-		var tooBig *http.MaxBytesError
-		switch {
-		case errors.As(err, &tooBig):
-			s.writeErr(w, http.StatusRequestEntityTooLarge, "too-large",
-				fmt.Sprintf("trace body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
-		case errors.Is(err, trace.ErrIO):
-			s.writeErr(w, http.StatusBadRequest, "body-read", err.Error(), 0)
-		default:
-			s.writeErr(w, http.StatusBadRequest, "bad-trace", err.Error(), 0)
-		}
+		fail(&checkFail{status: http.StatusBadRequest, kind: "bad-trace", msg: err.Error()})
 		return
 	}
 
-	key := fmt.Sprintf("trace:%016x.%016x", d.Header.ProgramDigest, d.Header.SpecDigest)
-	s.serveCheck(w, r, key, analysisName, d.Header.Seed,
-		func(ctx context.Context, seed int64) (string, error) {
-			grant := s.pcd.acquire(want)
-			defer s.pcd.release(grant)
-			res, err := core.RunTrace(ctx, d, core.Config{
-				Analysis:   analysis,
-				Telemetry:  s.reg,
-				PCDWorkers: grant,
-			})
-			if err != nil {
-				return "", err
-			}
-			return core.ReplayReport(displayName, d, res), nil
+	res, cf := runSupervised(s, r, bkey, analysisName, d.Header.Seed,
+		func(ctx context.Context, seed int64) (*core.Result, error) {
+			return s.runTrace(ctx, d, analysis, want)
 		})
+	if cf != nil {
+		fail(cf)
+		return
+	}
+
+	entry := &store.Entry{
+		Key:        ckey,
+		Program:    d.Header.Program.Name,
+		Events:     d.Counts.Total(),
+		Violations: len(res.Violations),
+		Blamed:     res.BlamedMethodNames(d.Header.Program),
+	}
+	// A run that quarantined PCD worker panics still answered — serve it,
+	// share it with this flight's waiters — but do not make a transient
+	// degradation permanent by persisting it.
+	if len(res.PCDQuarantined) == 0 {
+		s.cache.Put(ckey, entry)
+	}
+	s.cache.Finish(ckey, flight, entry, nil)
+	s.writeCached(w, displayName, entry, "miss")
 }
 
 // handleCheckWorkload checks a named built-in workload: POST
@@ -188,6 +369,7 @@ func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
 // panic-at-txend, stall-at-access and stall-ms inject faults into the
 // checker mid-run — the chaos-testing seam.
 func (s *Server) handleCheckWorkload(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter(telemetry.ServerRequests).Inc()
 	q := r.URL.Query()
 	name := q.Get("name")
 	if name == "" {
@@ -242,7 +424,7 @@ func (s *Server) handleCheckWorkload(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	s.serveCheck(w, r, "workload:"+name, analysisName, seed,
+	report, cf := runSupervised(s, r, "workload:"+name, analysisName, seed,
 		func(ctx context.Context, trialSeed int64) (string, error) {
 			grant := s.pcd.acquire(want)
 			defer s.pcd.release(grant)
@@ -265,6 +447,11 @@ func (s *Server) handleCheckWorkload(w http.ResponseWriter, r *http.Request) {
 			}
 			return workloadReport(name, built, trialSeed, res), nil
 		})
+	if cf != nil {
+		s.writeFail(w, cf)
+		return
+	}
+	s.writeReport(w, "", report)
 }
 
 // workloadReport renders a live workload check in the same shape as the
@@ -275,17 +462,19 @@ func workloadReport(name string, b *workloads.Built, seed int64, res *core.Resul
 		core.ViolationSummary(b.Prog, res))
 }
 
-// serveCheck runs one admitted check under supervision and writes either
-// the report or the taxonomy error. The attempt closure does the actual
-// work (trace replay or live run) and returns the rendered report.
-func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request, key, analysisName string, seed int64,
-	attempt func(ctx context.Context, seed int64) (string, error)) {
+// runSupervised runs one admitted check under breaker + supervision and
+// returns either its value or the taxonomy failure — the write is the
+// caller's, so the singleflight leader can publish the outcome to its
+// waiters before (or instead of) responding itself. The attempt closure
+// does the actual work: a trace replay, a live workload run.
+func runSupervised[T any](s *Server, r *http.Request, key, analysisName string, seed int64,
+	attempt func(ctx context.Context, seed int64) (T, error)) (T, *checkFail) {
 
+	var zero T
 	if ok, retryAfter := s.breaker.Allow(key); !ok {
 		s.reg.Counter(telemetry.ServerBreakerRejected).Inc()
-		s.writeErr(w, http.StatusServiceUnavailable, "breaker-open",
-			fmt.Sprintf("circuit open for %s", key), retryAfter)
-		return
+		return zero, &checkFail{status: http.StatusServiceUnavailable, kind: "breaker-open",
+			msg: fmt.Sprintf("circuit open for %s", key), retryAfter: retryAfter}
 	}
 
 	// The check's context merges the client's (disconnects abort the work)
@@ -303,20 +492,15 @@ func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request, key, analysi
 		// Whole-check abort: the merged context fired. Attribute it.
 		if s.inflightCtx.Err() != nil || s.Draining() {
 			s.reg.Counter(telemetry.ServerShedDraining).Inc()
-			s.writeErr(w, http.StatusServiceUnavailable, "draining",
-				"check canceled by server drain", 0)
-		} else {
-			s.writeErr(w, StatusClientClosedRequest, "canceled",
-				"client went away mid-check", 0)
+			return zero, &checkFail{status: http.StatusServiceUnavailable, kind: "draining",
+				msg: "check canceled by server drain", retryAfter: s.cfg.DrainTimeout}
 		}
-		return
+		return zero, &checkFail{status: StatusClientClosedRequest, kind: "canceled",
+			msg: "client went away mid-check"}
 	}
 	if out.OK {
 		s.breaker.Success(key)
-		s.reg.Counter(telemetry.ServerOK).Inc()
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, out.Value)
-		return
+		return out.Value, nil
 	}
 
 	f := out.LastFailure()
@@ -326,18 +510,18 @@ func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request, key, analysi
 		if s.breaker.Failure(key, f.StackDigest) {
 			s.reg.Counter(telemetry.ServerBreakerTrips).Inc()
 		}
-		w.Header().Set(PanicDigestHeader, f.StackDigest)
-		s.writeErr(w, http.StatusInternalServerError, "panic",
-			fmt.Sprintf("checker panic quarantined (stack %s): %v", f.StackDigest, f.Err), 0)
+		return zero, &checkFail{status: http.StatusInternalServerError, kind: "panic",
+			msg:         fmt.Sprintf("checker panic quarantined (stack %s): %v", f.StackDigest, f.Err),
+			panicDigest: f.StackDigest}
 	case supervise.KindTimeout:
 		s.reg.Counter(telemetry.ServerTimeouts).Inc()
 		if s.breaker.Failure(key, "timeout") {
 			s.reg.Counter(telemetry.ServerBreakerTrips).Inc()
 		}
-		s.writeErr(w, http.StatusGatewayTimeout, "timeout",
-			fmt.Sprintf("check exceeded %v", s.cfg.RequestTimeout), 0)
+		return zero, &checkFail{status: http.StatusGatewayTimeout, kind: "timeout",
+			msg: fmt.Sprintf("check exceeded %v", s.cfg.RequestTimeout)}
 	default:
-		s.writeErr(w, http.StatusInternalServerError, "check-failed", f.String(), 0)
+		return zero, &checkFail{status: http.StatusInternalServerError, kind: "check-failed", msg: f.String()}
 	}
 }
 

@@ -21,10 +21,16 @@
 //     PR 4 pool's determinism contract);
 //   - graceful drain: StartDrain stops admission (readyz flips to 503, new
 //     checks are rejected), WaitDrain finishes in-flight work within the
-//     drain deadline and cancels whatever remains.
+//     drain deadline and cancels whatever remains;
+//   - result caching: with a store.Store configured, trace checks are
+//     keyed by content address (DESIGN.md §12); hits bypass the admission
+//     queue entirely, concurrent identical uploads coalesce onto one
+//     checker run, and every 200 carries X-DC-Cache: hit|miss|coalesced.
 //
 // A report served for a trace is byte-identical to `dcheck -replay` on the
-// same file at any worker budget: both render core.ReplayReport.
+// same file at any worker budget, cached or cold: hit and miss paths both
+// render through core.ReplayReportFrom, and a corrupt cache entry is a
+// quarantined miss, never an answer.
 package server
 
 import (
@@ -34,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
 	"doublechecker/internal/telemetry"
 )
@@ -83,6 +90,12 @@ type Config struct {
 	// metrics; nil creates a private registry (exposed at /metrics either
 	// way).
 	Telemetry *telemetry.Registry
+	// Cache is the content-addressed result store. When set, trace checks
+	// are keyed by (trace identity, raw-byte digest, analysis): hits are
+	// answered straight from the store — bypassing the admission queue —
+	// and concurrent identical uploads coalesce onto one checker run. Every
+	// 200 carries X-DC-Cache: hit|miss|coalesced. nil disables caching.
+	Cache *store.Store
 }
 
 // Service defaults.
@@ -150,6 +163,7 @@ type Server struct {
 	slots   chan struct{} // checking slots (admission's running half)
 	waiting counterGauge  // admission queue depth
 	pcd     *workerBudget
+	cache   *store.Store // nil: caching disabled
 
 	mu        sync.Mutex
 	draining  bool
@@ -176,6 +190,7 @@ func New(cfg Config) *Server {
 		}),
 		slots:          make(chan struct{}, cfg.MaxConcurrent),
 		pcd:            newWorkerBudget(cfg.PCDBudget, cfg.Telemetry.Gauge(telemetry.ServerPCDBudgetInUse)),
+		cache:          cfg.Cache,
 		drainCh:        make(chan struct{}),
 		inflightCtx:    ctx,
 		cancelInflight: cancel,
@@ -192,6 +207,9 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // Breaker returns the server's circuit breaker, for health reporting and
 // tests.
 func (s *Server) Breaker() *supervise.Breaker { return s.breaker }
+
+// Cache returns the server's result store (nil when caching is disabled).
+func (s *Server) Cache() *store.Store { return s.cache }
 
 // Handler returns the service's HTTP handler: the check endpoints, health
 // probes, and the telemetry mux (/metrics, /debug/vars, /debug/pprof).

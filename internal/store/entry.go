@@ -1,0 +1,155 @@
+// On-disk entry format: a CRC-framed record holding one check result.
+//
+// Layout:
+//
+//	"DCRS" | uvarint payloadLen | uint32le crc32(payload) | payload
+//
+// payload:
+//
+//	uvarint keyLen | key encoding (see key.go)
+//	string program | uvarint events | uvarint violations
+//	uvarint nBlamed | nBlamed strings
+//
+// The decoder is strict the same way the trace reader is: bad magic, a
+// short payload, a CRC mismatch, an embedded key that fails DecodeKey, or
+// trailing bytes are all ErrCorrupt — and the store maps every corrupt
+// entry to a miss plus a quarantine, never a served result.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// entryMagic leads every result file ("DoubleChecker Result Store").
+var entryMagic = []byte("DCRS")
+
+// maxEntryPayload bounds the decoded payload; a result holds a program
+// name, a handful of counters, and blamed-method names.
+const maxEntryPayload = 1 << 20
+
+// Entry is one cached check result: the structured fields of a replay
+// report. The display name a client chose for the trace is *not* stored —
+// the server re-renders the identity line per request from the caller's
+// name plus these fields, so a cache hit can never leak another client's
+// label and the rendered bytes stay identical to a cold run.
+type Entry struct {
+	// Key is the full content address, embedded so a disk load can verify
+	// the file answers the question being asked (a planted or misfiled
+	// entry decodes to a miss, not a wrong hit).
+	Key Key
+	// Program is the trace's program name; Events the replayed event count.
+	Program string
+	Events  uint64
+	// Violations and Blamed are the check verdict: the dynamic violation
+	// count and the sorted blamed-method names.
+	Violations int
+	Blamed     []string
+}
+
+// encode renders the entry in the on-disk format.
+func (e *Entry) encode() []byte {
+	kb := e.Key.Encode()
+	p := make([]byte, 0, 64+len(kb)+len(e.Program))
+	p = binary.AppendUvarint(p, uint64(len(kb)))
+	p = append(p, kb...)
+	p = appendString(p, e.Program)
+	p = binary.AppendUvarint(p, e.Events)
+	p = binary.AppendUvarint(p, uint64(e.Violations))
+	p = binary.AppendUvarint(p, uint64(len(e.Blamed)))
+	for _, m := range e.Blamed {
+		p = appendString(p, m)
+	}
+
+	b := make([]byte, 0, len(entryMagic)+16+len(p))
+	b = append(b, entryMagic...)
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(p))
+	return append(b, p...)
+}
+
+// decodeEntry decodes one on-disk record, verifying frame, CRC, and the
+// embedded key. Any deviation is ErrCorrupt (or ErrVersion for a clean
+// entry from another format generation).
+func decodeEntry(b []byte) (*Entry, error) {
+	if len(b) < len(entryMagic) || string(b[:len(entryMagic)]) != string(entryMagic) {
+		return nil, fmt.Errorf("%w: bad entry magic", ErrCorrupt)
+	}
+	d := &keyDec{b: b, off: len(entryMagic)}
+	plen, err := d.uvarint("payload length")
+	if err != nil {
+		return nil, err
+	}
+	if plen > maxEntryPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, plen)
+	}
+	crcb, err := d.bytes(4, "payload crc")
+	if err != nil {
+		return nil, err
+	}
+	payload, err := d.bytes(plen, "payload")
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after entry", ErrCorrupt, len(d.b)-d.off)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crcb); got != want {
+		return nil, fmt.Errorf("%w: entry crc mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+
+	p := &keyDec{b: payload}
+	klen, err := p.uvarint("key length")
+	if err != nil {
+		return nil, err
+	}
+	kb, err := p.bytes(klen, "key")
+	if err != nil {
+		return nil, err
+	}
+	key, err := DecodeKey(kb)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{Key: key}
+	if e.Program, err = p.string("program"); err != nil {
+		return nil, err
+	}
+	if e.Events, err = p.uvarint("events"); err != nil {
+		return nil, err
+	}
+	v, err := p.uvarint("violations")
+	if err != nil {
+		return nil, err
+	}
+	e.Violations = int(v)
+	n, err := p.uvarint("blamed count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxEntryPayload {
+		return nil, fmt.Errorf("%w: blamed count %d exceeds limit", ErrCorrupt, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		m, err := p.string("blamed method")
+		if err != nil {
+			return nil, err
+		}
+		e.Blamed = append(e.Blamed, m)
+	}
+	if p.off != len(p.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in payload", ErrCorrupt, len(p.b)-p.off)
+	}
+	return e, nil
+}
+
+// size is the entry's in-memory accounting charge against the LRU byte
+// budget: the encoded length is an honest proxy for both tiers.
+func (e *Entry) size() int64 {
+	n := int64(len(entryMagic)) + 16 + int64(len(e.Key.Encode())) + int64(len(e.Program))
+	for _, m := range e.Blamed {
+		n += int64(len(m)) + 2
+	}
+	return n + 24
+}

@@ -83,6 +83,20 @@ const (
 	ServerPCDBudgetInUse  = "server.pcd_budget_in_use"  // gauge: PCD workers granted
 	ServerDraining        = "server.draining"           // gauge: 1 while draining
 
+	// Result store (internal/store): content-addressed check-result cache.
+	// The whole namespace is live-only (see liveOnlyPrefixes): cache
+	// occupancy and hit rates describe process history, not the analyzed
+	// execution, and a cached report is byte-identical to a cold run by
+	// contract.
+	StoreHits          = "store.hits"              // results served from cache
+	StoreMisses        = "store.misses"            // checks actually run (leader misses)
+	StoreCoalesced     = "store.coalesced_waiters" // requests that joined an in-flight run
+	StoreMemEvictions  = "store.mem.evictions"     // LRU entries dropped past the byte budget
+	StoreDiskEvictions = "store.disk.evictions"    // oldest files removed past the disk budget
+	StoreQuarantined   = "store.quarantined"       // corrupt entries moved aside (fail-closed misses)
+	StoreMemBytes      = "store.mem.bytes"         // gauge: memory tier occupancy
+	StoreDiskBytes     = "store.disk.bytes"        // gauge: disk tier occupancy
+
 	// Supervision outcomes (internal/supervise).
 	SuperviseAttempts   = "supervise.attempts"
 	SuperviseRetries    = "supervise.retries"
@@ -112,6 +126,15 @@ const (
 // LiveOnlyPrefix marks metrics that describe live pool scheduling rather
 // than the analyzed execution; Snapshot.Deterministic() removes them.
 const LiveOnlyPrefix = "pcd.pool."
+
+// StoreLiveOnlyPrefix marks the result-store namespace: hit rates and tier
+// occupancy depend on process history (what was cached before this run),
+// never on the analyzed execution, so Snapshot.Deterministic() removes
+// them too.
+const StoreLiveOnlyPrefix = "store."
+
+// liveOnlyPrefixes is every namespace Snapshot.Deterministic() strips.
+var liveOnlyPrefixes = []string{LiveOnlyPrefix, StoreLiveOnlyPrefix}
 
 // Standard bucket bounds.
 var (

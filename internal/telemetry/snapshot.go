@@ -74,11 +74,12 @@ func (r *Registry) Snapshot() *Snapshot {
 }
 
 // Deterministic returns a copy with every nondeterministic element removed:
-// span wall times are zeroed and live-only metrics (the LiveOnlyPrefix
-// namespace — PCD pool scheduling state such as queue depth and per-worker
-// load) are dropped entirely. Two identical replays of the same trace yield
-// byte-identical JSON encodings of the result, regardless of PCD worker
-// count or interleaving.
+// span wall times are zeroed and live-only metrics (the liveOnlyPrefixes
+// namespaces — PCD pool scheduling state such as queue depth and per-worker
+// load, and result-store cache occupancy) are dropped entirely. Two
+// identical replays of the same trace yield byte-identical JSON encodings
+// of the result, regardless of PCD worker count, interleaving, or cache
+// history.
 func (s *Snapshot) Deterministic() *Snapshot {
 	out := &Snapshot{
 		Counters:   dropLive(s.Counters),
@@ -87,7 +88,7 @@ func (s *Snapshot) Deterministic() *Snapshot {
 		Spans:      make(map[string]SpanSnapshot, len(s.Spans)),
 	}
 	for n, sp := range s.Spans {
-		if strings.HasPrefix(n, LiveOnlyPrefix) {
+		if isLiveOnly(n) {
 			continue
 		}
 		sp.WallNanos = 0
@@ -96,12 +97,23 @@ func (s *Snapshot) Deterministic() *Snapshot {
 	return out
 }
 
-// dropLive filters the LiveOnlyPrefix namespace out of one metric map,
+// isLiveOnly reports whether a metric name falls in a namespace that
+// Deterministic() strips.
+func isLiveOnly(name string) bool {
+	for _, p := range liveOnlyPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// dropLive filters the live-only namespaces out of one metric map,
 // returning the input untouched (no copy) when nothing matches.
 func dropLive[V any](m map[string]V) map[string]V {
 	live := 0
 	for n := range m {
-		if strings.HasPrefix(n, LiveOnlyPrefix) {
+		if isLiveOnly(n) {
 			live++
 		}
 	}
@@ -110,7 +122,7 @@ func dropLive[V any](m map[string]V) map[string]V {
 	}
 	out := make(map[string]V, len(m)-live)
 	for n, v := range m {
-		if !strings.HasPrefix(n, LiveOnlyPrefix) {
+		if !isLiveOnly(n) {
 			out[n] = v
 		}
 	}

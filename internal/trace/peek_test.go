@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestPeekHeaderGoldenCorpus pins PeekHeader's contract on every golden
+// trace: the peeked header agrees with ReadHeader on a fresh reader, and the
+// replay reader it returns feeds Read exactly the bytes a fresh reader would
+// — nothing consumed, nothing duplicated, including the bufio read-ahead
+// ReadHeader performs past the header proper.
+func TestPeekHeaderGoldenCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "traces", "*.dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden traces found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ReadHeader(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("ReadHeader: %v", err)
+			}
+			hdr, rest, err := PeekHeader(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("PeekHeader: %v", err)
+			}
+			if !reflect.DeepEqual(hdr, want) {
+				t.Errorf("peeked header differs from ReadHeader:\n got: %+v\nwant: %+v", hdr, want)
+			}
+			fromRest, err := Read(rest)
+			if err != nil {
+				t.Fatalf("Read(rest): %v", err)
+			}
+			fromFull, err := Read(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("Read(full): %v", err)
+			}
+			if !reflect.DeepEqual(fromRest, fromFull) {
+				t.Error("Read of the replay reader differs from Read of the full trace")
+			}
+		})
+	}
+}
+
+// TestPeekHeaderErrorStillReplays asserts the error path's contract: even
+// when the header does not decode, the returned reader replays every byte
+// the failed attempt consumed, so the caller can hand the stream to a
+// decoder that produces its own (better) diagnostic.
+func TestPeekHeaderErrorStillReplays(t *testing.T) {
+	garbage := []byte("not a trace at all, but long enough to read from")
+	_, rest, err := PeekHeader(bytes.NewReader(garbage))
+	if err == nil {
+		t.Fatal("PeekHeader accepted garbage")
+	}
+	got, readErr := io.ReadAll(rest)
+	if readErr != nil {
+		t.Fatalf("draining replay reader: %v", readErr)
+	}
+	if !bytes.Equal(got, garbage) {
+		t.Errorf("replay reader lost bytes:\n got: %q\nwant: %q", got, garbage)
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -132,6 +133,27 @@ func ReadHeader(r io.Reader) (*Header, error) {
 	}
 	hdr.Version = int(version)
 	return hdr, nil
+}
+
+// PeekHeader decodes only the header from r without consuming the trace:
+// it returns the header plus a replay reader that yields the stream from
+// the first byte, as if r had never been read. Callers that need the
+// header early — the server computes a cache key and a breaker key before
+// paying full decode cost — read the header here and hand the replay
+// reader to Read. The replay reader is returned even on error, so a caller
+// can still salvage or log the raw bytes of an undecodable upload.
+//
+// The implementation tees everything the header decode pulls off r
+// (including the internal reader's read-ahead) into a buffer and stitches
+// it back in front of the unread remainder.
+func PeekHeader(r io.Reader) (*Header, io.Reader, error) {
+	var consumed bytes.Buffer
+	hdr, err := ReadHeader(io.TeeReader(r, &consumed))
+	rest := io.MultiReader(bytes.NewReader(consumed.Bytes()), r)
+	if err != nil {
+		return nil, rest, err
+	}
+	return hdr, rest, nil
 }
 
 func readUvarint(br *bufio.Reader) (uint64, error) {
