@@ -16,6 +16,7 @@ import (
 	"doublechecker/internal/core"
 	"doublechecker/internal/cost"
 	"doublechecker/internal/lang"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/spec"
 	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
@@ -61,6 +62,8 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 
 		statsJSON   = fs.Bool("stats-json", false, "print the run's telemetry snapshot as JSON (deterministic: span wall times stripped)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the check runs")
+		traceOut    = fs.String("trace-out", "", "write the run's span timeline as Chrome trace-event JSON (load in Perfetto)")
+		logLevel    = fs.String("log-level", "info", "diagnostic log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,6 +104,7 @@ func DCheckContext(ctx context.Context, args []string, stdout, stderr io.Writer)
 		trialTimeout: *trialTimeout, maxSteps: *maxSteps, retries: *retries,
 		record: *record, replay: *replay, cacheDir: *cacheDir, pcdWorkers: *pcdWorkers,
 		statsJSON: *statsJSON, metricsAddr: *metricsAddr,
+		traceOut: *traceOut, logLevel: *logLevel,
 	}, stdout, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "dcheck:", err)
@@ -125,6 +129,8 @@ type dcheckOpts struct {
 	pcdWorkers                             int
 	statsJSON                              bool
 	metricsAddr                            string
+	traceOut                               string
+	logLevel                               string
 }
 
 func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) error {
@@ -132,12 +138,20 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 	// path) accumulates into it, -metrics-addr serves it live, and
 	// -stats-json prints its deterministic snapshot at the end.
 	reg := telemetry.NewRegistry()
+	logger := newCLILogger(stderr, o.logLevel)
 	if o.metricsAddr != "" {
-		stop, err := serveMetrics(o.metricsAddr, reg, stderr)
+		stop, err := serveMetrics(o.metricsAddr, reg, logger)
 		if err != nil {
 			return err
 		}
 		defer stop()
+	}
+	// -trace-out puts the whole invocation — every trial, or the replay —
+	// under one trace rooted here; the export happens on the way out.
+	if o.traceOut != "" {
+		tr := obs.NewTrace(obs.TraceConfig{Name: "dcheck"})
+		ctx = obs.ContextWithSpan(ctx, tr.Root())
+		defer writeTraceOut(logger, tr, o.traceOut)
 	}
 	if o.replay {
 		return runDCheckReplay(ctx, o, reg, stdout)
@@ -238,7 +252,7 @@ func runDCheck(ctx context.Context, o dcheckOpts, stdout, stderr io.Writer) erro
 			return err // canceled
 		}
 		for _, f := range out.Failures {
-			fmt.Fprintf(stderr, "dcheck: %s\n", f)
+			logger.Warn("trial failure", "seed", out.Seed, "failure", f.String())
 		}
 		if !out.OK {
 			if f := out.LastFailure(); f != nil {

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"time"
 
+	"doublechecker/internal/obs"
 	"doublechecker/internal/server"
 	"doublechecker/internal/store"
 	"doublechecker/internal/telemetry"
@@ -46,6 +47,9 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cacheDir  = fs.String("cache-dir", "", "result-store disk tier directory (empty disables the tier)")
 		cacheDisk = fs.Int64("cache-disk", 0, "result-store disk tier byte budget (0: unbounded)")
 		noCache   = fs.Bool("no-cache", false, "disable the result store entirely (every check runs cold)")
+		logLevel  = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
+		flightBuf = fs.Int("flight-buf", obs.DefaultFlightRecorderSize,
+			"flight recorder ring capacity (recent span/log/panic/quarantine events, served at /debug/flightrecorder)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +61,15 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg.RequestTimeout = *req
 	cfg.DrainTimeout = *drn
 
+	// One flight recorder for the whole service: request spans, log lines,
+	// panic quarantines, and store quarantines all land in the same ring.
+	// The service log — lifecycle plus one line per check request — goes to
+	// stdout, which the ops convention captures as the server log.
+	rec := obs.NewFlightRecorder(*flightBuf)
+	logger := obs.NewLogger(stdout, obs.ParseLevel(*logLevel), rec)
+	cfg.Logger = logger
+	cfg.Recorder = rec
+
 	// The result store is on by default (memory tier only); -cache-dir adds
 	// the persistent tier, -no-cache turns the whole thing off. Store and
 	// server share one registry so /metrics shows store.* beside server.*.
@@ -67,6 +80,7 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			MemBudget:  *cacheMem,
 			DiskBudget: *cacheDisk,
 			Telemetry:  cfg.Telemetry,
+			Recorder:   rec,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "dcserve: %v\n", err)
@@ -81,7 +95,8 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dcserve: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "dcserve: serving on http://%s (drain timeout %v)\n", ln.Addr(), cfg.DrainTimeout)
+	logger.Info(fmt.Sprintf("dcserve: serving on http://%s", ln.Addr()),
+		"drain_timeout", cfg.DrainTimeout.String(), "log_level", *logLevel)
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
@@ -89,7 +104,7 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	select {
 	case err := <-serveErr:
-		fmt.Fprintf(stderr, "dcserve: %v\n", err)
+		logger.Error("dcserve: serve failed", "err", err.Error())
 		return 1
 	case <-ctx.Done():
 	}
@@ -98,10 +113,11 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// rejected while existing connections still get answers), let in-flight
 	// checks finish within the drain deadline, cancel stragglers, then close
 	// the listener and idle connections.
-	fmt.Fprintln(stdout, "dcserve: draining")
+	logger.Info("dcserve: draining")
 	clean := s.WaitDrain(context.Background())
 	if !clean {
-		fmt.Fprintf(stdout, "dcserve: drain deadline %v exceeded; canceled remaining checks\n", cfg.DrainTimeout)
+		logger.Warn("dcserve: drain deadline exceeded; canceled remaining checks",
+			"deadline", cfg.DrainTimeout.String())
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -109,9 +125,9 @@ func DCServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		httpSrv.Close()
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(stderr, "dcserve: %v\n", err)
+		logger.Error("dcserve: serve failed", "err", err.Error())
 		return 1
 	}
-	fmt.Fprintln(stdout, "dcserve: drained, exiting")
+	logger.Info("dcserve: drained, exiting")
 	return 0
 }

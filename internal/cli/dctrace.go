@@ -17,6 +17,7 @@ import (
 
 	"doublechecker/internal/core"
 	"doublechecker/internal/lang"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/spec"
 	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
@@ -326,7 +327,7 @@ type traceJobResult struct {
 // printed in input order regardless of completion order.
 func runTraceJobs(ctx context.Context, paths []string, workers int, timeout time.Duration,
 	analysisLabel string, run func(ctx context.Context, path string) (string, bool, error),
-	stdout, stderr io.Writer) error {
+	stdout io.Writer, logger *obs.Logger) error {
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -383,14 +384,14 @@ func runTraceJobs(ctx context.Context, paths []string, workers int, timeout time
 	disagreed, skipped := 0, 0
 	for _, r := range results {
 		for _, f := range r.failures {
-			fmt.Fprintln(stderr, "dctrace:", f)
+			logger.Warn("trace job failure", "failure", f)
 		}
 		if r.err != nil {
 			// An undecodable trace file is that file's problem, not the
 			// batch's: report it, skip it, and keep the healthy verdicts.
 			if isDecodeErr(r.err) && !errors.Is(r.err, supervise.ErrCanceled) {
 				skipped++
-				fmt.Fprintf(stderr, "dctrace: skipping %v\n", r.err)
+				logger.Warn("skipping undecodable trace", "err", r.err.Error())
 				continue
 			}
 			if firstErr == nil {
@@ -427,6 +428,8 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 		timeout      = fs.Duration("trace-timeout", 0, "wall-clock budget per trace (0: unbounded)")
 		statsJSON    = fs.Bool("stats-json", false, "print each trace's telemetry snapshot as JSON (deterministic: span wall times stripped)")
 		cacheDir     = fs.String("cache-dir", "", "content-addressed result store directory; hits skip the check")
+		traceOut     = fs.String("trace-out", "", "write the batch's span timeline as Chrome trace-event JSON (load in Perfetto)")
+		logLevel     = fs.String("log-level", "info", "diagnostic log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
@@ -443,6 +446,15 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 	paths, err := expandTracePaths(fs.Args())
 	if err != nil {
 		return err
+	}
+	logger := newCLILogger(stderr, *logLevel)
+	// One trace spans the whole batch: each job's supervise.trial (and the
+	// pipeline spans under it) become per-trace children of this root, so
+	// the exported timeline shows the fan-out across workers.
+	if *traceOut != "" {
+		tr := obs.NewTrace(obs.TraceConfig{Name: "dctrace.replay"})
+		ctx = obs.ContextWithSpan(ctx, tr.Root())
+		defer writeTraceOut(logger, tr, *traceOut)
 	}
 	// One store shared by every worker in the fan-out (its methods are
 	// concurrency-safe); -stats-json reports real-run metrics, so it forces
@@ -465,6 +477,9 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 	}
 	return runTraceJobs(ctx, paths, *workers, *timeout, "replay-"+analysis.String(),
 		func(ctx context.Context, path string) (string, bool, error) {
+			sp, ctx := obs.StartSpan(ctx, "dctrace.trace")
+			sp.SetStr("path", path)
+			defer sp.End()
 			if cache == nil {
 				d, err := trace.ReadFile(path)
 				if err != nil {
@@ -520,7 +535,7 @@ func dctraceReplay(ctx context.Context, args []string, stdout, stderr io.Writer)
 				b.Write(res.Telemetry.Deterministic().JSON())
 			}
 			return b.String(), false, nil
-		}, stdout, stderr)
+		}, stdout, logger)
 }
 
 func dctraceDiff(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -576,7 +591,7 @@ func dctraceDiff(ctx context.Context, args []string, stdout, stderr io.Writer) e
 				fmt.Fprintf(&b, "  dc-first telemetry:  %s\n", pipelineCounters(td.FirstTelemetry))
 			}
 			return b.String(), !td.Agree(), nil
-		}, stdout, stderr)
+		}, stdout, newCLILogger(stderr, "info"))
 }
 
 // pipelineCounters renders a snapshot's nonzero checker counters (Octet

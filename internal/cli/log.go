@@ -1,0 +1,29 @@
+package cli
+
+import (
+	"io"
+	"os"
+
+	"doublechecker/internal/obs"
+)
+
+// newCLILogger builds the structured diagnostic logger the CLI tools
+// share: slog text lines on w (stderr by convention). Report output —
+// stdout — never goes through it, so the byte-identical report contracts
+// hold regardless of log level.
+func newCLILogger(w io.Writer, level string) *obs.Logger {
+	return obs.NewLogger(w, obs.ParseLevel(level), nil)
+}
+
+// writeTraceOut finishes tr and writes its Chrome trace-event JSON to
+// path (load it at ui.perfetto.dev or chrome://tracing). Export is a
+// diagnostic, never fatal: failures are logged, not returned.
+func writeTraceOut(log *obs.Logger, tr *obs.Trace, path string) {
+	tr.Finish()
+	if err := os.WriteFile(path, tr.Chrome(), 0o644); err != nil {
+		log.Error("trace export failed", "path", path, "err", err)
+		return
+	}
+	log.Info("trace exported",
+		"path", path, "trace_id", tr.ID(), "spans", len(tr.Snapshot()), "dropped", tr.Dropped())
+}

@@ -2,10 +2,10 @@ package cli
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 
+	"doublechecker/internal/obs"
 	"doublechecker/internal/telemetry"
 )
 
@@ -14,13 +14,14 @@ import (
 // /debug/pprof profiles, all on one mux (telemetry.NewMux). It returns a
 // stop function; the caller defers it so the endpoint lives exactly as long
 // as the invocation.
-func serveMetrics(addr string, reg *telemetry.Registry, stderr io.Writer) (func(), error) {
+func serveMetrics(addr string, reg *telemetry.Registry, log *obs.Logger) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
 	srv := &http.Server{Handler: reg.NewMux()}
 	go srv.Serve(ln)
-	fmt.Fprintf(stderr, "serving /metrics, /debug/vars and /debug/pprof on http://%s\n", ln.Addr())
+	log.Info("serving metrics", "addr", fmt.Sprintf("http://%s", ln.Addr()),
+		"endpoints", "/metrics /debug/vars /debug/pprof")
 	return func() { srv.Close() }, nil
 }

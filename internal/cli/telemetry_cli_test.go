@@ -68,14 +68,14 @@ func TestServeMetrics(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	reg.Counter("octet.transitions.fast_path").Add(3)
 	var errb bytes.Buffer
-	stop, err := serveMetrics("127.0.0.1:0", reg, &errb)
+	stop, err := serveMetrics("127.0.0.1:0", reg, newCLILogger(&errb, "info"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer stop()
 	msg := errb.String()
 	addr := msg[strings.Index(msg, "http://"):]
-	addr = strings.TrimSpace(addr)
+	addr = strings.Fields(addr)[0]
 
 	resp, err := http.Get(addr + "/metrics")
 	if err != nil {

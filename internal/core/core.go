@@ -16,6 +16,7 @@ import (
 
 	"doublechecker/internal/cost"
 	"doublechecker/internal/icd"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/pcd"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
@@ -235,6 +236,10 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 	}
 	res := &Result{Analysis: cfg.Analysis, BlamedMethods: make(map[vm.MethodID]bool)}
 
+	runSpan, ctx := obs.StartSpan(ctx, telemetry.SpanCoreRun)
+	runSpan.SetStr("analysis", cfg.Analysis.String())
+	defer runSpan.End()
+
 	inst, collect, abort, err := buildAnalysis(ctx, prog, cfg, res)
 	if err != nil {
 		return nil, err
@@ -244,6 +249,11 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 		inst = cfg.WrapInst(inst)
 	}
 	span := cfg.Telemetry.StartSpan(telemetry.SpanExecute, cfg.Meter)
+	execSpan, _ := obs.StartSpan(ctx, telemetry.SpanExecute)
+	var execCost0 cost.Units
+	if execSpan.Live() && cfg.Meter != nil {
+		execCost0 = cfg.Meter.Total()
+	}
 	stats, err := vm.NewExec(prog, vm.Config{
 		Sched:    sched,
 		Inst:     inst,
@@ -252,6 +262,16 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 		MaxSteps: cfg.MaxSteps,
 	}).RunContext(ctx)
 	span.End()
+	if execSpan.Live() {
+		if stats != nil {
+			execSpan.SetInt("vm.steps", int64(stats.Steps))
+			execSpan.SetInt("vm.tx.ends", int64(stats.TxEnds))
+		}
+		if cfg.Meter != nil {
+			execSpan.SetInt("cost_units", int64(cfg.Meter.Total()-execCost0))
+		}
+	}
+	execSpan.End()
 	if stats != nil {
 		res.VMStats = *stats
 	}
@@ -260,8 +280,11 @@ func RunContext(ctx context.Context, prog *vm.Program, cfg Config) (*Result, err
 		res.Telemetry = cfg.Telemetry.Snapshot()
 		return res, err
 	}
+	collectSpan, _ := obs.StartSpan(ctx, telemetry.SpanCoreCollect)
 	collect()
+	collectSpan.End()
 	finishResult(res, cfg)
+	runSpan.SetInt("violations", int64(len(res.Violations)))
 	return res, nil
 }
 
@@ -322,6 +345,11 @@ func buildAnalysis(ctx context.Context, prog *vm.Program, cfg Config, res *Resul
 	var collect func()
 	abort := func() {}
 
+	// The checkers have no context of their own (they sit behind the VM's
+	// instrumentation callbacks), so the current span is handed to them as
+	// a parent handle: their phase spans become children of core.run.
+	tspan := obs.SpanFromContext(ctx)
+
 	switch cfg.Analysis {
 	case Baseline:
 		inst = vm.NopInst{}
@@ -334,6 +362,7 @@ func buildAnalysis(ctx context.Context, prog *vm.Program, cfg Config, res *Resul
 			GCPeriod:          cfg.GCPeriod,
 			IncrementalCycles: cfg.VelodromeIncremental,
 			Telemetry:         cfg.Telemetry,
+			TraceSpan:         tspan,
 		}
 		if cfg.InstrumentArrays || cfg.DisableCycleDetection {
 			opts.DisableCycleDetection = true
@@ -352,7 +381,7 @@ func buildAnalysis(ctx context.Context, prog *vm.Program, cfg Config, res *Resul
 	case DCSingle, DCFirst, DCSecond, PCDOnly:
 		var p *pcd.Checker
 		logging := cfg.Analysis != DCFirst
-		opts := icd.Options{Logging: logging, GCPeriod: cfg.GCPeriod, Telemetry: cfg.Telemetry}
+		opts := icd.Options{Logging: logging, GCPeriod: cfg.GCPeriod, Telemetry: cfg.Telemetry, TraceSpan: tspan}
 		if cfg.InstrumentArrays {
 			opts.InstrumentArrays = true
 			opts.DisableSCC = true
@@ -397,12 +426,14 @@ func buildAnalysis(ctx context.Context, prog *vm.Program, cfg Config, res *Resul
 					Budget:    cfg.MemoryBudget,
 					Telemetry: cfg.Telemetry,
 					Hook:      cfg.PCDPoolHook,
+					TraceSpan: tspan,
 				})
 				opts.OnSCC = pool.Submit
 				abort = pool.Abort
 			} else {
 				p = pcd.NewChecker(pcdMeter, cfg.ReplayOrder)
 				p.SetTelemetry(cfg.Telemetry)
+				p.SetTraceSpan(tspan)
 				opts.OnSCC = func(scc []*txn.Txn) { p.Process(scc) }
 			}
 		}
@@ -410,6 +441,7 @@ func buildAnalysis(ctx context.Context, prog *vm.Program, cfg Config, res *Resul
 		if cfg.Analysis == PCDOnly {
 			p = pcd.NewChecker(pcdMeter, cfg.ReplayOrder)
 			p.SetTelemetry(cfg.Telemetry)
+			p.SetTraceSpan(tspan)
 		}
 		inst = ic
 		collect = func() {

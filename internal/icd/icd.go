@@ -27,6 +27,7 @@ package icd
 import (
 	"doublechecker/internal/cost"
 	"doublechecker/internal/graph"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/octet"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
@@ -71,6 +72,11 @@ type Options struct {
 	// icd.scc / icd.gc phase spans; the registry is also attached to the
 	// underlying Octet engine.
 	Telemetry *telemetry.Registry
+	// TraceSpan is the request-scoped parent span for this checker's obs
+	// spans (SCC detections, GC passes). The zero Span — the default —
+	// disables them at no cost; the registry above keeps aggregating either
+	// way.
+	TraceSpan obs.Span
 }
 
 // Stats counts ICD activity; Table 3's columns come from here.
@@ -397,6 +403,12 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 	c.stats.SCCDetections++
 	span := c.opts.Telemetry.StartSpan(telemetry.SpanICDSCC, c.meter)
 	defer span.End()
+	osp := c.opts.TraceSpan.Child(telemetry.SpanICDSCC)
+	var ocost0 cost.Units
+	if osp.Live() && c.meter != nil {
+		ocost0 = c.meter.Total()
+	}
+	defer c.endPhaseSpan(osp, ocost0)
 	model := cost.Model{}
 	if c.meter != nil {
 		model = c.meter.Model()
@@ -415,6 +427,7 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 	}
 	c.stats.SCCs++
 	c.stats.SCCTxns += uint64(len(comp))
+	osp.SetInt("scc_txns", int64(len(comp)))
 	if c.tel != nil {
 		c.tel.sccs.Inc()
 		c.tel.sccTxns.Add(uint64(len(comp)))
@@ -437,6 +450,12 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 func (c *Checker) collect() {
 	span := c.opts.Telemetry.StartSpan(telemetry.SpanICDGC, c.meter)
 	defer span.End()
+	osp := c.opts.TraceSpan.Child(telemetry.SpanICDGC)
+	var ocost0 cost.Units
+	if osp.Live() && c.meter != nil {
+		ocost0 = c.meter.Total()
+	}
+	defer c.endPhaseSpan(osp, ocost0)
 	roots := make([]*txn.Txn, 0, len(c.lastRdEx)+1)
 	for _, tx := range c.lastRdEx {
 		roots = append(roots, tx)
@@ -445,6 +464,20 @@ func (c *Checker) collect() {
 		roots = append(roots, c.gLastRdSh)
 	}
 	c.mgr.Collect(roots)
+}
+
+// endPhaseSpan closes a request-scoped phase span, charging the meter's
+// cost delta since cost0 as an attribute. A non-live span costs one branch
+// (the deferred call is open-coded, so the disabled path stays
+// allocation-free on the per-transaction detection path).
+func (c *Checker) endPhaseSpan(osp obs.Span, cost0 cost.Units) {
+	if !osp.Live() {
+		return
+	}
+	if c.meter != nil {
+		osp.SetInt("cost_units", int64(c.meter.Total()-cost0))
+	}
+	osp.End()
 }
 
 // Manager exposes the transaction manager (the PCD-only configuration needs

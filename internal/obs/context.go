@@ -1,0 +1,43 @@
+package obs
+
+import "context"
+
+// spanKey is the context key carrying the current Span. One key carries
+// both the trace and the position in its tree — a Span value holds its
+// *Trace.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying span as the current span.
+// Storing the zero Span is allowed and equivalent to storing nothing.
+func ContextWithSpan(ctx context.Context, span Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, span)
+}
+
+// SpanFromContext returns the current span, or the zero Span if the
+// context carries none. The miss path performs no allocation.
+func SpanFromContext(ctx context.Context) Span {
+	if ctx == nil {
+		return Span{}
+	}
+	if s, ok := ctx.Value(spanKey{}).(Span); ok {
+		return s
+	}
+	return Span{}
+}
+
+// StartSpan starts a child of the context's current span and returns it
+// together with a derived context in which it is current. When the
+// context carries no span (tracing disabled) it returns the zero Span
+// and the SAME context, allocation-free — the whole pipeline calls this
+// unconditionally and pays nothing by default.
+func StartSpan(ctx context.Context, name string) (Span, context.Context) {
+	parent := SpanFromContext(ctx)
+	if parent.tr == nil {
+		return Span{}, ctx
+	}
+	s := parent.Child(name)
+	if s.tr == nil { // span limit hit
+		return Span{}, ctx
+	}
+	return s, ContextWithSpan(ctx, s)
+}

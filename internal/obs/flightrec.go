@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Event kinds recorded in the flight recorder.
+const (
+	EventSpan       = "span"       // a trace span ended
+	EventLog        = "log"        // a structured log line was emitted
+	EventPanic      = "panic"      // a supervised run panicked into quarantine
+	EventQuarantine = "quarantine" // the result store quarantined an artifact
+)
+
+// Event is one flight-recorder entry. Events are small and self-contained
+// so a snapshot is meaningful without the process that produced it.
+type Event struct {
+	Time     time.Time `json:"time"`
+	Kind     string    `json:"kind"`
+	Name     string    `json:"name"`
+	Msg      string    `json:"msg,omitempty"`
+	TraceID  string    `json:"trace_id,omitempty"`
+	SpanID   uint64    `json:"span_id,omitempty"`
+	DurNanos int64     `json:"dur_ns,omitempty"`
+}
+
+// DefaultFlightRecorderSize is the default ring capacity: enough to hold
+// the full span+log history of several requests, small enough that a
+// snapshot embedded in a quarantine record stays readable.
+const DefaultFlightRecorderSize = 256
+
+// FlightRecorder is a fixed-size ring buffer of recent observability
+// events. It is the "what was the process doing just before this" answer:
+// snapshotted into panic-quarantine records, store quarantine events, and
+// served at /debug/flightrecorder. Writes take one short mutex-protected
+// critical section (a slot store and two integer bumps), cheap enough to
+// sit on every span end and log line.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // slot the next event lands in
+	total uint64 // events ever added, including overwritten ones
+}
+
+// NewFlightRecorder returns a recorder retaining the last n events
+// (DefaultFlightRecorderSize if n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightRecorderSize
+	}
+	return &FlightRecorder{buf: make([]Event, 0, n)}
+}
+
+// Add records an event, stamping its time if unset. Nil-safe.
+func (r *FlightRecorder) Add(e Event) {
+	if r == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total reports how many events were ever added (retained or overwritten).
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *FlightRecorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.total > uint64(len(r.buf)) {
+		// Ring has wrapped: oldest event is at next.
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// flightSnapshot is the JSON shape of a recorder snapshot.
+type flightSnapshot struct {
+	Total    uint64  `json:"total_events"`
+	Retained int     `json:"retained"`
+	Events   []Event `json:"events"`
+}
+
+// JSON renders the snapshot as indented JSON, oldest event first.
+// Nil-safe: a nil recorder renders an empty snapshot.
+func (r *FlightRecorder) JSON() []byte {
+	snap := flightSnapshot{
+		Total:  r.Total(),
+		Events: r.Snapshot(),
+	}
+	snap.Retained = len(snap.Events)
+	if snap.Events == nil {
+		snap.Events = []Event{}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		panic("obs: flight recorder encode: " + err.Error())
+	}
+	return buf.Bytes()
+}

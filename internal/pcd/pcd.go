@@ -26,6 +26,7 @@ import (
 
 	"doublechecker/internal/cost"
 	"doublechecker/internal/graph"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
 	"doublechecker/internal/vm"
@@ -78,7 +79,8 @@ type Checker struct {
 	finds      []Find
 	stats      Stats
 	tel        *tel
-	tempBytes  int64 // live replay temporaries (released per Process)
+	tspan      obs.Span // request-scoped parent for pcd.replay spans
+	tempBytes  int64    // live replay temporaries (released per Process)
 }
 
 // SetTelemetry attaches a registry: Process then records live counters, the
@@ -89,6 +91,10 @@ func (c *Checker) SetTelemetry(reg *telemetry.Registry) {
 	}
 	c.tel = newTel(reg)
 }
+
+// SetTraceSpan attaches a request-scoped parent span: Process then opens a
+// pcd.replay obs child per SCC. The zero Span (the default) disables them.
+func (c *Checker) SetTraceSpan(sp obs.Span) { c.tspan = sp }
 
 // newTel resolves the full PCD handle set eagerly. The pool calls it too
 // (before any SCC exists), so a zero-SCC run registers the same metric names
@@ -271,6 +277,15 @@ func (c *Checker) Process(scc []*txn.Txn) []txn.Violation {
 		c.tel.sccs.Inc()
 		c.tel.txns.Add(uint64(len(scc)))
 	}
+	osp := c.tspan.Child(telemetry.SpanPCDReplay)
+	var ocost0 cost.Units
+	if osp.Live() {
+		osp.SetInt("scc_txns", int64(len(scc)))
+		if c.meter != nil {
+			ocost0 = c.meter.Total()
+		}
+	}
+	defer c.endReplaySpan(osp, ocost0)
 
 	inSCC := make(map[*txn.Txn]bool, len(scc))
 	for _, tx := range scc {
@@ -460,6 +475,19 @@ func (c *Checker) addPDGEdge(g *pdg, src, dst *txn.Txn, seq uint64, found []txn.
 	blame.End()
 	c.violations = append(c.violations, v)
 	return append(found, v)
+}
+
+// endReplaySpan closes a pcd.replay obs span, charging the meter's cost
+// delta since cost0 as an attribute; open-coded as a method defer so the
+// disabled path stays allocation-free.
+func (c *Checker) endReplaySpan(osp obs.Span, cost0 cost.Units) {
+	if !osp.Live() {
+		return
+	}
+	if c.meter != nil {
+		osp.SetInt("cost_units", int64(c.meter.Total()-cost0))
+	}
+	osp.End()
 }
 
 // sortedThreads returns a reader map's thread keys in ascending order.

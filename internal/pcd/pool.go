@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"doublechecker/internal/cost"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/supervise"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
@@ -64,6 +65,11 @@ type PoolConfig struct {
 	// panic in it is quarantined exactly like a checker panic. It is the
 	// pool's deterministic fault-injection seam (compare core.Config.WrapInst).
 	Hook func(index uint64, scc []*txn.Txn)
+	// TraceSpan is the request-scoped parent for the pool's obs spans: the
+	// VM-thread hand-off and the per-worker replays. The zero Span — the
+	// default — disables them; the resulting timeline is what makes the
+	// off-critical-path claim visible per request.
+	TraceSpan obs.Span
 }
 
 // poolJob is one handed-off SCC: an immutable snapshot plus its hand-off
@@ -183,7 +189,12 @@ func (p *Pool) Submit(scc []*txn.Txn) {
 	if p.reg != nil {
 		span = p.reg.StartSpan(telemetry.SpanPCDHandoff, p.cfg.MainMeter)
 	}
+	osp := p.cfg.TraceSpan.Child(telemetry.SpanPCDHandoff)
 	clone, entries := snapshotSCC(scc)
+	if osp.Live() {
+		osp.SetInt("entries", int64(entries))
+		osp.SetInt("scc_txns", int64(len(scc)))
+	}
 	if p.cfg.MainMeter != nil {
 		p.cfg.MainMeter.ChargeN(p.cfg.MainMeter.Model().PCDHandoffPerEntry, int64(entries))
 	}
@@ -207,6 +218,7 @@ func (p *Pool) Submit(scc []*txn.Txn) {
 		}
 	}
 	span.End()
+	osp.End()
 	p.jobs <- job
 }
 
@@ -241,6 +253,14 @@ func (p *Pool) runJob(worker int, job poolJob) (res jobResult) {
 		span = p.reg.StartSpan(telemetry.SpanPCDPoolWorker+strconv.Itoa(worker), nil)
 		defer span.End()
 	}
+	osp := p.cfg.TraceSpan.Child(telemetry.SpanPCDPoolWorker + strconv.Itoa(worker))
+	if osp.Live() {
+		osp.SetInt("index", int64(job.index))
+		osp.SetInt("scc_txns", int64(len(job.scc)))
+	}
+	// Registered before the recover below (LIFO), so the span closes even
+	// when the replay panics into quarantine.
+	defer osp.End()
 	defer func() {
 		if r := recover(); r != nil {
 			res.quar = &Quarantine{
@@ -249,6 +269,7 @@ func (p *Pool) runJob(worker int, job poolJob) (res jobResult) {
 				Err:    fmt.Sprint(r),
 				Digest: supervise.PanicDigest(debug.Stack()),
 			}
+			osp.SetStr("quarantined", res.quar.Digest)
 			if p.quarCtr != nil {
 				p.quarCtr.Inc()
 			}

@@ -37,6 +37,7 @@ import (
 
 	"doublechecker/internal/core"
 	"doublechecker/internal/faultinject"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/spec"
 	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
@@ -66,6 +67,12 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// Observability endpoints. More specific than the GET /debug/ subtree
+	// below, so they win pattern precedence.
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("GET /debug/bundle", s.handleDebugBundle)
 	// The existing telemetry mux — Prometheus text, expvars, pprof — rides
 	// along on the service port.
 	tm := s.reg.NewMux()
@@ -87,6 +94,12 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, kind, msg string, r
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(status)
+	// A traced request's error body names its trace, so the timeline
+	// behind any failure is one /debug/traces/<id> fetch away.
+	if tid := w.Header().Get(TraceIDHeader); tid != "" {
+		fmt.Fprintf(w, "%s: %s (trace %s)\n", kind, msg, tid)
+		return
+	}
 	fmt.Fprintf(w, "%s: %s\n", kind, msg)
 }
 
@@ -136,7 +149,12 @@ func (s *Server) writeCached(w http.ResponseWriter, name string, e *store.Entry,
 // succeeded. Draining rejections carry a Retry-After of the drain deadline
 // — the longest this instance can linger before a replacement serves.
 func (s *Server) admitFail(ctx context.Context) (func(), *checkFail) {
+	qsp, _ := obs.StartSpan(ctx, telemetry.SpanQueueWait)
+	t0 := time.Now()
 	release, verdict := s.admit(ctx)
+	scopeFrom(ctx).setQueueWait(time.Since(t0))
+	qsp.SetStr("verdict", admitVerdictName(verdict))
+	qsp.End()
 	switch verdict {
 	case admitOK:
 		s.reg.Counter(telemetry.ServerAdmitted).Inc()
@@ -175,6 +193,8 @@ func (s *Server) admitOrReject(w http.ResponseWriter, r *http.Request) func() {
 // in-flight run.
 func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(telemetry.ServerRequests).Inc()
+	tr, r := s.beginTrace(w, r, "check.trace")
+	defer tr.Finish()
 	q := r.URL.Query()
 	analysisName := q.Get("analysis")
 	if analysisName == "" {
@@ -255,19 +275,29 @@ func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
 
 	ckey := store.TraceKey(hdr, store.BodyDigest(body), analysisName)
 	for {
+		gsp, _ := obs.StartSpan(r.Context(), telemetry.SpanStoreGet)
 		entry, flight, leader := s.cache.Lookup(ckey)
 		switch {
 		case entry != nil:
+			gsp.SetStr("state", "hit")
+			gsp.End()
 			s.writeCached(w, displayName, entry, "hit")
 			return
 		case leader:
+			gsp.SetStr("state", "lead")
+			gsp.End()
 			s.leadCheck(w, r, ckey, flight, bkey, analysisName, analysis, body, displayName, want)
 			return
 		}
+		gsp.SetStr("state", "coalesce")
+		gsp.End()
 		// Coalesced waiter: block on the leader's flight, the drain signal,
 		// or our own client going away — whichever fires first.
+		csp, _ := obs.StartSpan(r.Context(), telemetry.SpanCoalesceWait)
 		select {
 		case <-flight.Done():
+			csp.SetStr("outcome", "leader-done")
+			csp.End()
 			e, ferr := flight.Result()
 			if e != nil {
 				s.writeCached(w, displayName, e, "coalesced")
@@ -288,11 +318,15 @@ func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
 			s.writeFail(w, cf)
 			return
 		case <-s.drainCh:
+			csp.SetStr("outcome", "draining")
+			csp.End()
 			s.reg.Counter(telemetry.ServerShedDraining).Inc()
 			s.writeErr(w, http.StatusServiceUnavailable, "draining",
 				"server is draining", s.cfg.DrainTimeout)
 			return
 		case <-r.Context().Done():
+			csp.SetStr("outcome", "canceled")
+			csp.End()
 			s.writeErr(w, StatusClientClosedRequest, "canceled",
 				"client went away while coalesced", 0)
 			return
@@ -317,6 +351,10 @@ func (s *Server) runTrace(ctx context.Context, d *trace.Data, analysis core.Anal
 // an abandoned flight would strand its waiters until drain.
 func (s *Server) leadCheck(w http.ResponseWriter, r *http.Request, ckey store.Key, flight *store.Flight,
 	bkey, analysisName string, analysis core.Analysis, body []byte, displayName string, want int) {
+
+	lsp, lctx := obs.StartSpan(r.Context(), telemetry.SpanLeadCheck)
+	defer lsp.End()
+	r = r.WithContext(lctx)
 
 	fail := func(cf *checkFail) {
 		s.cache.Finish(ckey, flight, nil, cf)
@@ -357,7 +395,9 @@ func (s *Server) leadCheck(w http.ResponseWriter, r *http.Request, ckey store.Ke
 	// share it with this flight's waiters — but do not make a transient
 	// degradation permanent by persisting it.
 	if len(res.PCDQuarantined) == 0 {
+		psp, _ := obs.StartSpan(r.Context(), telemetry.SpanStorePut)
 		s.cache.Put(ckey, entry)
+		psp.End()
 	}
 	s.cache.Finish(ckey, flight, entry, nil)
 	s.writeCached(w, displayName, entry, "miss")
@@ -370,6 +410,8 @@ func (s *Server) leadCheck(w http.ResponseWriter, r *http.Request, ckey store.Ke
 // checker mid-run — the chaos-testing seam.
 func (s *Server) handleCheckWorkload(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(telemetry.ServerRequests).Inc()
+	tr, r := s.beginTrace(w, r, "check.workload")
+	defer tr.Finish()
 	q := r.URL.Query()
 	name := q.Get("name")
 	if name == "" {
@@ -487,6 +529,7 @@ func runSupervised[T any](s *Server, r *http.Request, key, analysisName string, 
 		Retries:      s.cfg.Retries,
 		RetryBackoff: s.cfg.RetryBackoff,
 		Telemetry:    s.reg,
+		Recorder:     s.rec,
 	}, analysisName, seed, attempt)
 	if err != nil {
 		// Whole-check abort: the merged context fired. Attribute it.

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"doublechecker/internal/obs"
 	"doublechecker/internal/store"
 	"doublechecker/internal/supervise"
 	"doublechecker/internal/telemetry"
@@ -96,6 +97,20 @@ type Config struct {
 	// and concurrent identical uploads coalesce onto one checker run. Every
 	// 200 carries X-DC-Cache: hit|miss|coalesced. nil disables caching.
 	Cache *store.Store
+	// Logger receives the structured request log (one line per check
+	// request) and lifecycle diagnostics. nil keeps the server silent —
+	// every log call is nil-safe.
+	Logger *obs.Logger
+	// Recorder is the flight recorder shared across the pipeline: span
+	// ends, log lines, panic quarantines, and store quarantines all land
+	// in its ring, served at /debug/flightrecorder and snapshotted into
+	// quarantine records. nil creates a private recorder — the endpoint
+	// works either way. Pass the same recorder to store.Open so cache
+	// quarantines share the ring.
+	Recorder *obs.FlightRecorder
+	// TraceRetention is how many finished request traces stay fetchable
+	// at /debug/traces/<id> (default DefaultTraceRetention).
+	TraceRetention int
 }
 
 // Service defaults.
@@ -149,6 +164,12 @@ func (c Config) withDefaults() Config {
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewRegistry()
 	}
+	if c.Recorder == nil {
+		c.Recorder = obs.NewFlightRecorder(0)
+	}
+	if c.TraceRetention <= 0 {
+		c.TraceRetention = DefaultTraceRetention
+	}
 	return c
 }
 
@@ -164,6 +185,11 @@ type Server struct {
 	waiting counterGauge  // admission queue depth
 	pcd     *workerBudget
 	cache   *store.Store // nil: caching disabled
+
+	log     *obs.Logger         // nil-safe structured log
+	rec     *obs.FlightRecorder // shared flight recorder ring
+	traces  *traceRing          // retained request traces
+	handler http.Handler        // mux wrapped in the request-log middleware
 
 	mu        sync.Mutex
 	draining  bool
@@ -191,12 +217,16 @@ func New(cfg Config) *Server {
 		slots:          make(chan struct{}, cfg.MaxConcurrent),
 		pcd:            newWorkerBudget(cfg.PCDBudget, cfg.Telemetry.Gauge(telemetry.ServerPCDBudgetInUse)),
 		cache:          cfg.Cache,
+		log:            cfg.Logger,
+		rec:            cfg.Recorder,
+		traces:         newTraceRing(cfg.TraceRetention),
 		drainCh:        make(chan struct{}),
 		inflightCtx:    ctx,
 		cancelInflight: cancel,
 	}
 	s.waiting.gauge = cfg.Telemetry.Gauge(telemetry.ServerQueueDepth)
 	s.mux = s.routes()
+	s.handler = s.withObs(s.mux)
 	return s
 }
 
@@ -212,8 +242,13 @@ func (s *Server) Breaker() *supervise.Breaker { return s.breaker }
 func (s *Server) Cache() *store.Store { return s.cache }
 
 // Handler returns the service's HTTP handler: the check endpoints, health
-// probes, and the telemetry mux (/metrics, /debug/vars, /debug/pprof).
-func (s *Server) Handler() http.Handler { return s.mux }
+// probes, the telemetry mux (/metrics, /debug/vars, /debug/pprof), and
+// the observability endpoints (/debug/traces, /debug/flightrecorder,
+// /debug/bundle), all wrapped in the request-log middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// FlightRecorder returns the server's shared flight recorder ring.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.rec }
 
 // Draining reports whether drain has started.
 func (s *Server) Draining() bool {
@@ -270,6 +305,21 @@ const (
 	admitDraining
 	admitCanceled
 )
+
+// admitVerdictName renders an admission verdict for span attributes and
+// log lines.
+func admitVerdictName(v admitResult) string {
+	switch v {
+	case admitOK:
+		return "ok"
+	case admitShed:
+		return "shed"
+	case admitDraining:
+		return "draining"
+	default:
+		return "canceled"
+	}
+}
 
 // admit acquires a checking slot, queueing up to MaxQueue requests. The
 // release closure must be called exactly once when the check finishes.

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doublechecker/internal/obs"
+)
+
+// TestQuarantineEmitsFlightRecord: when a corrupt disk entry is quarantined
+// and the store carries a flight recorder, the incident lands in the ring
+// (an EventQuarantine naming the entry) and the recorder's snapshot is
+// written beside the quarantined artifact as <name>.flight.json.
+func TestQuarantineEmitsFlightRecord(t *testing.T) {
+	dir := t.TempDir()
+	rec := obs.NewFlightRecorder(16)
+	rec.Add(obs.Event{Kind: obs.EventLog, Name: "INFO", Msg: "pre-corruption activity"})
+	s, err := Open(Config{Dir: dir, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1)
+	if err := s.Put(k, testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.ID()+".dcr")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+
+	var quarantines int
+	for _, e := range rec.Snapshot() {
+		if e.Kind == obs.EventQuarantine {
+			quarantines++
+			if e.Name != k.ID() {
+				t.Errorf("quarantine event names %q, want %q", e.Name, k.ID())
+			}
+		}
+	}
+	if quarantines != 1 {
+		t.Fatalf("recorder holds %d quarantine events, want 1", quarantines)
+	}
+
+	// The post-mortem file sits beside the quarantined bytes and parses as a
+	// recorder snapshot that already includes the quarantine itself.
+	fpath := filepath.Join(dir, QuarantineDir, k.ID()+".dcr.flight.json")
+	data, err := os.ReadFile(fpath)
+	if err != nil {
+		t.Fatalf("flight snapshot not written: %v", err)
+	}
+	var snap struct {
+		Total    uint64      `json:"total_events"`
+		Retained int         `json:"retained"`
+		Events   []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("flight snapshot does not parse: %v\n%s", err, data)
+	}
+	if snap.Retained != len(snap.Events) || snap.Retained == 0 {
+		t.Fatalf("bad snapshot shape: retained=%d events=%d", snap.Retained, len(snap.Events))
+	}
+	found := false
+	for _, e := range snap.Events {
+		if e.Kind == obs.EventQuarantine && e.Name == k.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flight snapshot missing the quarantine event:\n%s", data)
+	}
+}
+
+// TestQuarantineWithoutRecorder: the recorderless store must quarantine
+// exactly as before — no flight file, no panic on the nil recorder.
+func TestQuarantineWithoutRecorder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(2)
+	if err := s.Put(k, testEntry(2)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.ID()+".dcr")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, k.ID()+".dcr")); err != nil {
+		t.Errorf("quarantined artifact missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, k.ID()+".dcr.flight.json")); !os.IsNotExist(err) {
+		t.Errorf("recorderless store wrote a flight snapshot: %v", err)
+	}
+}

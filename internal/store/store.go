@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"doublechecker/internal/obs"
 	"doublechecker/internal/telemetry"
 )
 
@@ -53,6 +54,12 @@ type Config struct {
 	DiskBudget int64
 	// Telemetry receives store.* metrics; nil is valid and records nothing.
 	Telemetry *telemetry.Registry
+	// Recorder, if non-nil, receives a flight-recorder event whenever an
+	// entry is quarantined, and the recorder's snapshot at that instant is
+	// written beside the quarantined artifact (<name>.flight.json) — the
+	// post-mortem record of what the process was doing when corruption
+	// surfaced.
+	Recorder *obs.FlightRecorder
 }
 
 // Store is the two-tier cache. All methods are safe for concurrent use.
@@ -69,6 +76,7 @@ type Store struct {
 	quarantined *telemetry.Counter
 	memBytes    *telemetry.Gauge
 	diskBytes   *telemetry.Gauge
+	recorder    *obs.FlightRecorder
 
 	mu       sync.Mutex
 	mem      map[string]*list.Element // id → LRU element
@@ -110,6 +118,7 @@ func Open(cfg Config) (*Store, error) {
 		quarantined: cfg.Telemetry.Counter(telemetry.StoreQuarantined),
 		memBytes:    cfg.Telemetry.Gauge(telemetry.StoreMemBytes),
 		diskBytes:   cfg.Telemetry.Gauge(telemetry.StoreDiskBytes),
+		recorder:    cfg.Recorder,
 		mem:         make(map[string]*list.Element),
 		lru:         list.New(),
 		disk:        make(map[string]*diskMeta),
@@ -361,6 +370,13 @@ func (s *Store) quarantine(id, path string) {
 	}
 	if !moved {
 		os.Remove(path)
+	}
+	// The quarantine IS the incident: record it, then drop the recorder's
+	// snapshot beside the quarantined bytes so a post-mortem sees what the
+	// process was doing when the corruption surfaced.
+	s.recorder.Add(obs.Event{Kind: obs.EventQuarantine, Name: id, Msg: "store: corrupt entry quarantined: " + filepath.Base(path)})
+	if s.recorder != nil && moved {
+		os.WriteFile(filepath.Join(qdir, filepath.Base(path)+".flight.json"), s.recorder.JSON(), 0o644)
 	}
 
 	s.mu.Lock()

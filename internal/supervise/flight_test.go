@@ -1,0 +1,73 @@
+package supervise
+
+import (
+	"context"
+	"testing"
+
+	"doublechecker/internal/obs"
+)
+
+// TestTrialPanicCapturesFlightRecord: a quarantined panic must carry the
+// flight recorder's snapshot at quarantine time — including the panic event
+// itself and whatever the process was doing before (here, a log line and a
+// finished span), so a post-mortem has context beyond the stack digest.
+func TestTrialPanicCapturesFlightRecord(t *testing.T) {
+	rec := obs.NewFlightRecorder(16)
+	rec.Add(obs.Event{Kind: obs.EventLog, Name: "INFO", Msg: "pre-panic activity"})
+	rec.Add(obs.Event{Kind: obs.EventSpan, Name: "warmup"})
+
+	out, err := Trial(context.Background(), Budget{Retries: 3, Recorder: rec}, "single-run", 1,
+		func(_ context.Context, _ int64) (int, error) { panic("checker bug") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.LastFailure()
+	if f == nil || f.Kind != KindPanic {
+		t.Fatalf("want panic failure, got %+v", out.Failures)
+	}
+	if len(f.FlightRecord) == 0 {
+		t.Fatal("panic quarantine captured no flight record")
+	}
+	var panics, logs int
+	for _, e := range f.FlightRecord {
+		switch e.Kind {
+		case obs.EventPanic:
+			panics++
+			if e.Name != f.StackDigest {
+				t.Errorf("panic event named %q, want the stack digest %q", e.Name, f.StackDigest)
+			}
+		case obs.EventLog:
+			logs++
+		}
+	}
+	if panics != 1 {
+		t.Errorf("flight record holds %d panic events, want 1", panics)
+	}
+	if logs != 1 {
+		t.Error("pre-panic log line missing from the flight record")
+	}
+	// The snapshot is a copy: later recorder traffic must not mutate the
+	// quarantine record.
+	before := len(f.FlightRecord)
+	rec.Add(obs.Event{Kind: obs.EventLog, Name: "INFO", Msg: "post-quarantine"})
+	if len(f.FlightRecord) != before {
+		t.Error("quarantine record aliases the live ring")
+	}
+}
+
+// TestTrialPanicWithoutRecorder: a nil Budget.Recorder is the common case;
+// the panic path must stay nil-safe and simply attach no flight record.
+func TestTrialPanicWithoutRecorder(t *testing.T) {
+	out, err := Trial(context.Background(), Budget{}, "single-run", 1,
+		func(_ context.Context, _ int64) (int, error) { panic("checker bug") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.LastFailure()
+	if f == nil || f.Kind != KindPanic {
+		t.Fatalf("want panic failure, got %+v", out.Failures)
+	}
+	if f.FlightRecord != nil {
+		t.Errorf("recorderless trial attached a flight record: %+v", f.FlightRecord)
+	}
+}

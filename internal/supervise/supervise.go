@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"doublechecker/internal/obs"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/vm"
 )
@@ -110,6 +111,11 @@ type TrialFailure struct {
 	// the trial anyway, so the failure cost coverage of one seed, not the
 	// trial.
 	Recovered bool
+	// FlightRecord is the flight recorder's snapshot at quarantine time —
+	// the spans and log lines leading up to a panic, captured alongside the
+	// stack digest so a post-mortem sees context, not just a fingerprint.
+	// Populated only for panics and only when Budget.Recorder is set.
+	FlightRecord []obs.Event
 }
 
 func (f TrialFailure) String() string {
@@ -192,6 +198,11 @@ type Budget struct {
 	// quarantined panics, timeouts, terminal failures, recoveries) under the
 	// telemetry.Supervise* names.
 	Telemetry *telemetry.Registry
+	// Recorder, if non-nil, receives a flight-recorder event for every
+	// quarantined panic, and its snapshot at that instant is attached to
+	// the TrialFailure (FlightRecord) — the post-mortem record of what the
+	// process was doing when the checker blew up.
+	Recorder *obs.FlightRecorder
 }
 
 // count bumps one supervision counter when a registry is attached.
@@ -237,6 +248,12 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 	if stride == 0 {
 		stride = DefaultSeedStride
 	}
+	trialSpan, ctx := obs.StartSpan(ctx, telemetry.SpanTrial)
+	trialSpan.SetStr("analysis", analysis)
+	defer func() {
+		trialSpan.SetInt("attempts", int64(out.Attempts))
+		trialSpan.End()
+	}()
 	for a := 1; ; a++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return out, fmt.Errorf("%w: %w", ErrCanceled, cerr)
@@ -254,8 +271,14 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 		if a > 1 {
 			b.count(telemetry.SuperviseRetries)
 		}
-		v, err, panicked, digest := runAttempt(ctx, b.TrialTimeout, s, attempt)
+		attemptSpan, actx := obs.StartSpan(ctx, telemetry.SpanTrialAttempt)
+		if attemptSpan.Live() {
+			attemptSpan.SetInt("attempt", int64(a))
+			attemptSpan.SetInt("seed", s)
+		}
+		v, err, panicked, digest := runAttempt(actx, b.TrialTimeout, s, attempt)
 		if err == nil {
+			attemptSpan.End()
 			out.Value, out.OK, out.Seed = v, true, s
 			for i := range out.Failures {
 				out.Failures[i].Recovered = true
@@ -266,6 +289,7 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 		// A failing attempt under a done parent context means the check was
 		// canceled, not that the trial hit its own budget.
 		if cerr := ctx.Err(); cerr != nil && !panicked {
+			attemptSpan.End()
 			return out, fmt.Errorf("%w: %w", ErrCanceled, cerr)
 		}
 		f := TrialFailure{Analysis: analysis, Seed: s, Attempt: a, Err: err, StackDigest: digest}
@@ -273,6 +297,19 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 		case panicked:
 			f.Kind = KindPanic
 			b.count(telemetry.SupervisePanics)
+			// The flight recorder's state at this instant IS the post-mortem:
+			// record the panic itself, then snapshot the recent span/log
+			// history into the quarantine record.
+			b.Recorder.Add(obs.Event{
+				Kind:    obs.EventPanic,
+				Name:    digest,
+				Msg:     fmt.Sprintf("%s trial (seed %d, attempt %d): %v", analysis, s, a, err),
+				TraceID: attemptSpan.TraceID(),
+				SpanID:  attemptSpan.SpanID(),
+			})
+			if b.Recorder != nil {
+				f.FlightRecord = b.Recorder.Snapshot()
+			}
 		case errors.Is(err, context.DeadlineExceeded):
 			f.Kind = KindTimeout
 			f.Err = fmt.Errorf("%w: %w", ErrTrialTimeout, err)
@@ -280,6 +317,10 @@ func Trial[T any](ctx context.Context, b Budget, analysis string, seed int64,
 		default:
 			f.Kind = Classify(err)
 		}
+		if attemptSpan.Live() {
+			attemptSpan.SetStr("failure", string(f.Kind))
+		}
+		attemptSpan.End()
 		out.Failures = append(out.Failures, f)
 		if !Transient(err) || a > b.Retries {
 			b.count(telemetry.SuperviseFailures)

@@ -123,6 +123,25 @@ const (
 	SpanPCDPoolWorker = "pcd.pool.worker." // prefix; the worker index is appended
 )
 
+// Request-scoped trace span names (internal/obs). The aggregate phase
+// names above double as obs span names at the same call sites, so one
+// name means one pipeline stage in both the cumulative registry and a
+// per-request timeline; the names below exist only as obs spans — they
+// mark request plumbing (queueing, coalescing, caching, supervision)
+// that has no aggregate-phase counterpart. DESIGN.md §13 maps all of
+// them to pipeline stages and paper quantities.
+const (
+	SpanCoreRun      = "core.run"             // one checked execution or replay, end to end
+	SpanCoreCollect  = "core.collect"         // post-execution harvest (incl. PCD pool drain)
+	SpanTrial        = "supervise.trial"      // one supervised trial incl. retries
+	SpanTrialAttempt = "supervise.attempt"    // one attempt within a trial
+	SpanQueueWait    = "server.queue_wait"    // admission queue wait for a slot
+	SpanCoalesceWait = "server.coalesce_wait" // waiting on another request's in-flight check
+	SpanLeadCheck    = "server.lead_check"    // leading a singleflight check
+	SpanStoreGet     = "store.get"            // result-store lookup
+	SpanStorePut     = "store.put"            // result-store insert
+)
+
 // LiveOnlyPrefix marks metrics that describe live pool scheduling rather
 // than the analyzed execution; Snapshot.Deterministic() removes them.
 const LiveOnlyPrefix = "pcd.pool."

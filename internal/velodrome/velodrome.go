@@ -23,6 +23,7 @@ package velodrome
 import (
 	"doublechecker/internal/cost"
 	"doublechecker/internal/graph"
+	"doublechecker/internal/obs"
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/txn"
 	"doublechecker/internal/vm"
@@ -80,6 +81,9 @@ type Options struct {
 	// Telemetry, when non-nil, receives live Velodrome metrics (metadata
 	// updates, edges, cycle checks, sync fast skips) and the velo.gc span.
 	Telemetry *telemetry.Registry
+	// TraceSpan is the request-scoped parent for this checker's obs spans
+	// (GC passes); the zero Span disables them.
+	TraceSpan obs.Span
 }
 
 // tel holds pre-resolved telemetry handles so the barrier pays a nil check
@@ -389,6 +393,8 @@ func (c *Checker) addEdge(src, dst *txn.Txn, seq uint64) {
 func (c *Checker) collect() {
 	span := c.opts.Telemetry.StartSpan(telemetry.SpanVeloGC, c.meter)
 	defer span.End()
+	osp := c.opts.TraceSpan.Child(telemetry.SpanVeloGC)
+	defer osp.End()
 	var roots []*txn.Txn
 	for _, md := range c.meta {
 		if md.lastWrite != nil {
