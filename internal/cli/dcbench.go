@@ -27,7 +27,7 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 	fs.SetOutput(stderr)
 	var (
 		experiment = fs.String("experiment", "all",
-			"one of: table2, fig7, table3, refine-overhead, arrays, ablations, filter-precision, pcd-only, telemetry, parallelpcd, servecache, obsoverhead, all")
+			"one of: table2, fig7, table3, refine-overhead, arrays, ablations, filter-precision, pcd-only, telemetry, parallelpcd, servecache, obsoverhead, crosscheck, all")
 		scale      = fs.Float64("scale", 0.5, "workload scale factor")
 		trials     = fs.Int("trials", 5, "performance trials per configuration")
 		stable     = fs.Int("stable", 4, "consecutive quiet trials ending refinement (paper: 10)")
@@ -39,16 +39,19 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 		parOut     = fs.String("parallelpcd-out", "BENCH_parallelpcd.json", "output path for the parallelpcd experiment's JSON dump (determinism section also written alongside as .det.json)")
 		cacheOut   = fs.String("servecache-out", "BENCH_servecache.json", "output path for the servecache experiment's JSON dump")
 		obsOut     = fs.String("obs-out", "BENCH_obs.json", "output path for the obsoverhead experiment's JSON dump")
+		xchkOut    = fs.String("crosscheck-out", "BENCH_crosscheck.json", "output path for the crosscheck experiment's JSON dump (byte-reproducible at a fixed budget)")
+		xchkBudget = fs.Int("crosscheck-budget", 0, "crosscheck sweep triple budget (0: default 120)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	opts := eval.Options{
-		Scale:        *scale,
-		PerfTrials:   *trials,
-		RefineStable: *stable,
-		FirstRuns:    *firstRuns,
-		MemoryBudget: *budget * 1024,
+		Scale:            *scale,
+		PerfTrials:       *trials,
+		RefineStable:     *stable,
+		FirstRuns:        *firstRuns,
+		MemoryBudget:     *budget * 1024,
+		CrosscheckBudget: *xchkBudget,
 	}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
@@ -59,14 +62,14 @@ func DCBenchContext(ctx context.Context, args []string, stdout, stderr io.Writer
 			return 1
 		}
 	}
-	if code := runExperiments(ctx, *experiment, *csvDir, *telOut, *parOut, *cacheOut, *obsOut, eval.NewRunner(opts), stdout, stderr); code != 0 {
+	if code := runExperiments(ctx, *experiment, *csvDir, *telOut, *parOut, *cacheOut, *obsOut, *xchkOut, eval.NewRunner(opts), stdout, stderr); code != 0 {
 		return code
 	}
 	return 0
 }
 
 // runExperiments dispatches the experiment set; split out for testing.
-func runExperiments(ctx context.Context, experiment, csvDir, telOut, parOut, cacheOut, obsOut string, runner *eval.Runner, stdout, stderr io.Writer) int {
+func runExperiments(ctx context.Context, experiment, csvDir, telOut, parOut, cacheOut, obsOut, xchkOut string, runner *eval.Runner, stdout, stderr io.Writer) int {
 	writeCSV := func(name, content string) bool {
 		if csvDir == "" {
 			return true
@@ -247,6 +250,23 @@ func runExperiments(ctx context.Context, experiment, csvDir, telOut, parOut, cac
 			}
 			fmt.Fprintf(stdout, "[wrote %s]\n", obsOut)
 			return d.RenderObsOverhead(), nil
+		})
+		ran = true
+	}
+	if ok && (all || experiment == "crosscheck") {
+		ok = run("crosscheck", func() (string, error) {
+			d, err := runner.Crosscheck()
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(xchkOut, d.JSON(), 0o644); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(stdout, "[wrote %s]\n", xchkOut)
+			if !d.OK() {
+				return d.RenderCrosscheck(), fmt.Errorf("oracle failure (see %s)", xchkOut)
+			}
+			return d.RenderCrosscheck(), nil
 		})
 		ran = true
 	}

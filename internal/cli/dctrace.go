@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"doublechecker/internal/core"
+	"doublechecker/internal/crosscheck"
 	"doublechecker/internal/lang"
 	"doublechecker/internal/obs"
 	"doublechecker/internal/spec"
@@ -24,6 +25,7 @@ import (
 	"doublechecker/internal/telemetry"
 	"doublechecker/internal/trace"
 	"doublechecker/internal/vm"
+	"doublechecker/internal/workloads"
 )
 
 // DCTrace runs the dctrace tool: record, inspect, replay, and diff trace
@@ -40,6 +42,9 @@ commands:
   replay   re-check traces through an analysis, no VM involved
   diff     replay each trace through DoubleChecker, Velodrome and
            ICD-only, and diff the violations
+  fuzz     explore (workload, scheduler, seed) triples, checking the
+           soundness, precision and determinism oracles on each; oracle
+           failures are shrunk into standalone repro traces
 
 run 'dctrace <command> -h' for the command's flags.
 `
@@ -62,6 +67,8 @@ func DCTraceContext(ctx context.Context, args []string, stdout, stderr io.Writer
 		err = dctraceReplay(ctx, rest, stdout, stderr)
 	case "diff":
 		err = dctraceDiff(ctx, rest, stdout, stderr)
+	case "fuzz":
+		err = dctraceFuzz(ctx, rest, stdout, stderr)
 	case "-h", "--help", "help":
 		fmt.Fprint(stdout, dctraceUsage)
 		return 0
@@ -621,4 +628,65 @@ func pipelineCounters(s *telemetry.Snapshot) string {
 		parts[i] = fmt.Sprintf("%s=%d", n, s.Counters[n])
 	}
 	return strings.Join(parts, " ")
+}
+
+// dctraceFuzz runs the schedule-exploration cross-checking harness: a
+// budgeted sweep of (workload, scheduler, seed) triples — plus an exhaustive
+// enumeration of the tiny corpus — checking the soundness, precision and
+// determinism oracles on every execution. Oracle failures are minimized by
+// the shrinker and written as standalone .dct repros.
+func dctraceFuzz(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dctrace fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		budget   = fs.Int("budget", 200, "number of (workload, scheduler, seed) triples to explore")
+		seedBase = fs.Int64("seed", 1, "first schedule seed of the sweep")
+		reproDir = fs.String("repro-dir", "testdata/repros", "directory for shrunk failure repros (empty: do not write repros)")
+		tiny     = fs.Bool("tiny", true, "also exhaustively enumerate every interleaving of the tiny corpus")
+	)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: dctrace fuzz [flags]")
+		return errUsage
+	}
+	failed := false
+	if *tiny {
+		for _, tp := range workloads.Tiny() {
+			rep, err := crosscheck.Enumerate(ctx,
+				crosscheck.Source{Name: tp.Name, Prog: tp.Prog, Atomic: tp.Atomic},
+				64, 4096, nil)
+			if err != nil {
+				return err
+			}
+			ok := rep.Agreed == rep.Interleavings && rep.Deterministic == rep.Interleavings
+			fmt.Fprintf(stdout, "enumerate %-14s %4d interleaving(s), %d violating, oracles %s\n",
+				tp.Name, rep.Interleavings, rep.WithViolations, map[bool]string{true: "passed", false: "FAILED"}[ok])
+			failed = failed || !ok
+		}
+	}
+	rep, err := crosscheck.Explore(ctx, crosscheck.Options{
+		Budget:   *budget,
+		SeedBase: *seedBase,
+		ReproDir: *reproDir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, rep.Summary())
+	for _, f := range rep.Failures {
+		fmt.Fprintf(stdout, "  FAILURE %s: agree=%v det=%v", f.Triple, f.Agree, f.Deterministic)
+		if f.DetDiag != "" {
+			fmt.Fprintf(stdout, " (%s)", f.DetDiag)
+		}
+		if f.ReproPath != "" {
+			fmt.Fprintf(stdout, " repro=%s (%d events)", f.ReproPath, f.ReproEvents)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if failed || len(rep.Failures) > 0 {
+		return errDisagree
+	}
+	return nil
 }

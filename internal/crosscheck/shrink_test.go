@@ -1,0 +1,186 @@
+package crosscheck
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/trace"
+	"doublechecker/internal/vm"
+	"doublechecker/internal/workloads"
+)
+
+// tinyrace returns the tinyrace source and the ID of its atomic "inc" method.
+func tinyrace(t *testing.T) (Source, vm.MethodID) {
+	t.Helper()
+	for _, tp := range workloads.Tiny() {
+		if tp.Name != "tinyrace" {
+			continue
+		}
+		for _, m := range tp.Prog.Methods {
+			if m.Name == "inc" {
+				return Source{Name: tp.Name, Prog: tp.Prog, Atomic: tp.Atomic}, m.ID
+			}
+		}
+	}
+	t.Fatal("tinyrace/inc not found in the tiny corpus")
+	return Source{}, 0
+}
+
+// buggyVeloDisagreement models an injected checker bug: a hypothetical
+// Velodrome that never blames "inc". The two checkers then disagree exactly
+// when DoubleChecker blames inc, so that is the failure the shrinker must
+// preserve.
+func buggyVeloDisagreement(ctx context.Context, inc vm.MethodID) Predicate {
+	return func(d *trace.Data) bool {
+		res, err := core.RunTrace(ctx, d, core.Config{Analysis: core.DCSingle})
+		return err == nil && res.BlamedMethods[inc]
+	}
+}
+
+// findDisagreeingTrace records tinyrace under the random scheduler at
+// increasing seeds until the injected disagreement fires. The seed walk is
+// deterministic, so the same trace is found every run.
+func findDisagreeingTrace(t *testing.T, ctx context.Context, src Source, pred Predicate) (*trace.Data, int64) {
+	t.Helper()
+	sched := DefaultSchedulers()[0]
+	for seed := int64(1); seed <= 64; seed++ {
+		d, err := Record(ctx, src, seed, sched, 1<<14)
+		if err != nil {
+			t.Fatalf("record seed %d: %v", seed, err)
+		}
+		if pred(d) {
+			return d, seed
+		}
+	}
+	t.Fatal("no seed in 1..64 produced the injected disagreement")
+	return nil, 0
+}
+
+// TestShrinkInjectedDisagreement is the acceptance check for the shrinker:
+// an injected, seeded checker disagreement on tinyrace must minimize to at
+// most 8 events, and the written repro must replay deterministically while
+// still exhibiting the failure.
+func TestShrinkInjectedDisagreement(t *testing.T) {
+	ctx := context.Background()
+	src, inc := tinyrace(t)
+	pred := buggyVeloDisagreement(ctx, inc)
+	d, seed := findDisagreeingTrace(t, ctx, src, pred)
+	t.Logf("disagreement at seed %d with %d events", seed, len(d.Events))
+
+	small := Shrink(d, pred)
+	if !pred(small) {
+		t.Fatal("shrunk trace no longer exhibits the failure")
+	}
+	if len(small.Events) > 8 {
+		t.Fatalf("shrunk to %d events, want <= 8", len(small.Events))
+	}
+	t.Logf("shrunk %d -> %d events", len(d.Events), len(small.Events))
+
+	path := filepath.Join(t.TempDir(), "tinyrace_injected.dct")
+	if err := WriteRepro(small, path, "injected buggy-velodrome disagreement (test)"); err != nil {
+		t.Fatalf("write repro: %v", err)
+	}
+	back, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("re-read repro: %v", err)
+	}
+	if !pred(back) {
+		t.Fatal("repro round-trip lost the failure")
+	}
+	// Deterministic replay: two independent replays must render identically.
+	r1, err := core.RunTrace(ctx, back, core.Config{Analysis: core.DCSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.RunTrace(ctx, back, core.Config{Analysis: core.DCSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1 := core.ReplayReport("repro", back, r1)
+	rep2 := core.ReplayReport("repro", back, r2)
+	if rep1 != rep2 {
+		t.Fatalf("repro replay is not deterministic:\n%s\n---\n%s", rep1, rep2)
+	}
+}
+
+// TestShrinkReturnsInputWhenPredicateFails: a predicate that never holds must
+// leave the trace untouched.
+func TestShrinkReturnsInputWhenPredicateFails(t *testing.T) {
+	ctx := context.Background()
+	src, _ := tinyrace(t)
+	d, err := Record(ctx, src, 1, DefaultSchedulers()[0], 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Shrink(d, func(*trace.Data) bool { return false })
+	if out != d {
+		t.Fatal("Shrink modified a trace whose predicate never held")
+	}
+}
+
+// TestGuardPredicateSwallowsPanics: a panicking checker counts as "not the
+// same failure", never as a shrinker crash.
+func TestGuardPredicateSwallowsPanics(t *testing.T) {
+	p := GuardPredicate(func(*trace.Data) bool { panic("checker crash") })
+	if p(nil) {
+		t.Fatal("panicking predicate reported true")
+	}
+}
+
+// TestReproCorpusReplays replays every committed repro in testdata/repros
+// through DoubleChecker twice and requires byte-identical reports: a repro
+// that does not replay deterministically is useless for debugging.
+func TestReproCorpusReplays(t *testing.T) {
+	ctx := context.Background()
+	paths, err := filepath.Glob("../../testdata/repros/*.dct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed repros found; testdata/repros must hold at least the example repro")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			d, err := trace.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			var reports []string
+			for i := 0; i < 2; i++ {
+				res, err := core.RunTrace(ctx, d, core.Config{Analysis: core.DCSingle})
+				if err != nil {
+					t.Fatalf("replay %d: %v", i, err)
+				}
+				reports = append(reports, core.ReplayReport(filepath.Base(path), d, res))
+			}
+			if reports[0] != reports[1] {
+				t.Fatalf("nondeterministic replay:\n%s\n---\n%s", reports[0], reports[1])
+			}
+		})
+	}
+}
+
+// TestRegenExampleRepro regenerates the committed example repro. Gated behind
+// REGEN_REPROS=1 so normal runs never rewrite testdata; run it after changing
+// the trace format, the tiny corpus, or the shrinker.
+func TestRegenExampleRepro(t *testing.T) {
+	if os.Getenv("REGEN_REPROS") != "1" {
+		t.Skip("set REGEN_REPROS=1 to regenerate testdata/repros")
+	}
+	ctx := context.Background()
+	src, inc := tinyrace(t)
+	pred := buggyVeloDisagreement(ctx, inc)
+	d, seed := findDisagreeingTrace(t, ctx, src, pred)
+	small := Shrink(d, pred)
+	path := "../../testdata/repros/tinyrace_random_seed_example.dct"
+	prov := fmt.Sprintf("crosscheck shrink example: tinyrace under random scheduler seed %d, minimized to %d events (injected buggy-velodrome oracle)", seed, len(small.Events))
+	if err := WriteRepro(small, path, prov); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d events)", path, len(small.Events))
+}

@@ -36,6 +36,10 @@ type Options struct {
 	// (§5.1): Figure 7 rows whose live analysis footprint exceeds it are
 	// flagged OOM. Zero disables the check.
 	MemoryBudget int64
+	// CrosscheckBudget is the (workload, scheduler, seed) triple count of
+	// the crosscheck experiment's sweep (default 120). The experiment is
+	// fully deterministic at a fixed budget.
+	CrosscheckBudget int
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +60,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = workloads.All()
+	}
+	if o.CrosscheckBudget == 0 {
+		o.CrosscheckBudget = 120
 	}
 	return o
 }

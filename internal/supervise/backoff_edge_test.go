@@ -1,0 +1,102 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"doublechecker/internal/vm"
+)
+
+// TestBackoffForEdgeCases pins the boundary behavior of the retry pacing
+// function: disabled backoff, pre-retry attempts, the doubling cap, the
+// default cap, and attempt counts large enough to overflow the doubling.
+func TestBackoffForEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		base    time.Duration
+		max     time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{"zero retry budget: base 0 disables backoff", 0, time.Minute, 5, 0},
+		{"negative base disables backoff", -time.Second, time.Minute, 5, 0},
+		{"attempt 0 pays nothing", time.Second, time.Minute, 0, 0},
+		{"first attempt pays nothing", time.Second, time.Minute, 1, 0},
+		{"negative attempt pays nothing", time.Second, time.Minute, -3, 0},
+		{"first retry pays base", time.Second, time.Minute, 2, time.Second},
+		{"second retry doubles", time.Second, time.Minute, 3, 2 * time.Second},
+		{"doubling caps at max", time.Second, 5 * time.Second, 6, 5 * time.Second},
+		{"base above max clamps", 10 * time.Second, 5 * time.Second, 2, 5 * time.Second},
+		{"zero max means DefaultMaxBackoff", time.Second, 0, 60, DefaultMaxBackoff},
+		{"negative max means DefaultMaxBackoff", time.Second, -1, 60, DefaultMaxBackoff},
+		// Overflow territory: the doubling must hit the cap, never wrap
+		// negative or spin attempt-many iterations.
+		{"max-attempt overflow returns max", time.Nanosecond, math.MaxInt64, math.MaxInt, math.MaxInt64},
+		{"huge attempt with default cap", time.Second, 0, math.MaxInt, DefaultMaxBackoff},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			got := BackoffFor(tc.base, tc.max, tc.attempt)
+			if got != tc.want {
+				t.Fatalf("BackoffFor(%v, %v, %d) = %v, want %v", tc.base, tc.max, tc.attempt, got, tc.want)
+			}
+			if got < 0 {
+				t.Fatalf("negative backoff %v", got)
+			}
+			if elapsed := time.Since(start); elapsed > time.Second {
+				t.Fatalf("BackoffFor took %v; the doubling loop is not bounded", elapsed)
+			}
+		})
+	}
+}
+
+// TestTrialAlreadyCanceledContext: a trial under an already-canceled context
+// aborts with ErrCanceled before running any attempt.
+func TestTrialAlreadyCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	out, err := Trial(ctx, Budget{Retries: 3}, "test", 1,
+		func(context.Context, int64) (int, error) {
+			ran = true
+			return 0, nil
+		})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Fatal("attempt ran under a canceled context")
+	}
+	if out.OK || out.Attempts != 0 {
+		t.Fatalf("outcome %+v, want no attempts", out)
+	}
+}
+
+// TestTrialCanceledDuringBackoff: cancellation landing inside the retry
+// pause aborts with ErrCanceled without consuming the retry — the failed
+// attempt count stands and no rotated seed is burned.
+func TestTrialCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	attempts := 0
+	out, err := Trial(ctx, Budget{Retries: 2, RetryBackoff: time.Minute}, "test", 7,
+		func(context.Context, int64) (int, error) {
+			attempts++
+			// Cancel while the supervisor is about to pause before retry 2.
+			time.AfterFunc(10*time.Millisecond, cancel)
+			return 0, vm.ErrDeadlock
+		})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if attempts != 1 || out.Attempts != 1 {
+		t.Fatalf("attempts = %d (outcome %d), want exactly 1: the backoff cancellation must not consume the retry", attempts, out.Attempts)
+	}
+	if out.OK {
+		t.Fatal("outcome marked OK after cancellation")
+	}
+}

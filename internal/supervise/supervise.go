@@ -152,7 +152,10 @@ func BackoffFor(base, max time.Duration, attempt int) time.Duration {
 	d := base
 	for i := 2; i < attempt; i++ {
 		d *= 2
-		if d >= max {
+		// d <= 0 is doubling overflow — past max by definition. The guard
+		// also bounds the loop (~63 doublings), so a giant attempt count
+		// returns promptly instead of iterating attempt times.
+		if d >= max || d <= 0 {
 			return max
 		}
 	}

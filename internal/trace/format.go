@@ -26,6 +26,12 @@ const (
 // chunkTarget is the payload size at which the writer flushes a chunk.
 const chunkTarget = 32 << 10
 
+// maxChunk bounds a decoded chunk payload. Event chunks flush at chunkTarget
+// and the header chunk scales with the program, so any length beyond this is
+// a corrupt or adversarial frame — reject it before allocating, rather than
+// trusting the declared size.
+const maxChunk = 16 << 20
+
 // buf is a tiny append-only varint encoder.
 type buf struct{ b []byte }
 
@@ -116,6 +122,9 @@ func readChunk(in io.ByteReader, full io.Reader) (payload []byte, ok bool, err e
 	if n == 0 {
 		return nil, false, nil
 	}
+	if n > maxChunk {
+		return nil, false, fmt.Errorf("%w: chunk length %d exceeds format maximum %d", ErrCorrupt, n, maxChunk)
+	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(full, crcb[:]); err != nil {
 		return nil, false, readErr(err, "chunk CRC cut short")
@@ -198,6 +207,11 @@ func decodeProgram(d *dec) (*vm.Program, error) {
 		return nil, err
 	}
 	prog := &vm.Program{Name: name, NumObjects: int(numObjects)}
+	// Each array entry costs at least two bytes, so a count beyond the
+	// remaining payload is corrupt; check before sizing the map.
+	if nArrays > uint64(d.remaining())/2 {
+		return nil, fmt.Errorf("%w: array count %d exceeds payload", ErrCorrupt, nArrays)
+	}
 	if nArrays > 0 {
 		prog.ArrayLens = make(map[vm.ObjectID]int, nArrays)
 	}

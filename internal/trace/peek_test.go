@@ -2,11 +2,14 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"doublechecker/internal/workloads"
 )
 
 // TestPeekHeaderGoldenCorpus pins PeekHeader's contract on every golden
@@ -71,5 +74,84 @@ func TestPeekHeaderErrorStillReplays(t *testing.T) {
 	}
 	if !bytes.Equal(got, garbage) {
 		t.Errorf("replay reader lost bytes:\n got: %q\nwant: %q", got, garbage)
+	}
+}
+
+// TestPeekHeaderZeroLength: the degenerate empty stream must error without
+// panicking, and the replay reader must be empty — zero bytes in, zero out.
+func TestPeekHeaderZeroLength(t *testing.T) {
+	hdr, rest, err := PeekHeader(bytes.NewReader(nil))
+	if err == nil {
+		t.Fatalf("PeekHeader accepted an empty stream (header %+v)", hdr)
+	}
+	got, readErr := io.ReadAll(rest)
+	if readErr != nil {
+		t.Fatalf("draining replay reader: %v", readErr)
+	}
+	if len(got) != 0 {
+		t.Fatalf("replay reader invented %d bytes from an empty stream", len(got))
+	}
+}
+
+// TestPeekHeaderHeaderOnly: a stream holding just the magic and header chunk
+// (a writer that was never closed) peeks successfully — this is exactly the
+// early-inspection use case — while a full decode of the same bytes reports
+// truncation. The replay reader must still return every input byte.
+func TestPeekHeaderHeaderOnly(t *testing.T) {
+	prog, _ := workloads.Random(3)
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Header{Program: prog, Seed: 11, Sched: "test", Source: "header-only"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...) // writer untouched past construction
+
+	hdr, rest, err := PeekHeader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("PeekHeader on a header-only stream: %v", err)
+	}
+	if hdr.Seed != 11 || hdr.Sched != "test" || hdr.Source != "header-only" {
+		t.Fatalf("peeked header %+v lost fields", hdr)
+	}
+	if hdr.Program == nil || hdr.Program.Name != prog.Name {
+		t.Fatalf("peeked header program = %+v, want %q", hdr.Program, prog.Name)
+	}
+	replayed, readErr := io.ReadAll(rest)
+	if readErr != nil {
+		t.Fatalf("draining replay reader: %v", readErr)
+	}
+	if !bytes.Equal(replayed, raw) {
+		t.Fatalf("replay reader returned %d bytes, want the original %d", len(replayed), len(raw))
+	}
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("full decode of a header-only stream: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestPeekHeaderPrefixProperty: for EVERY prefix of a valid trace, PeekHeader
+// either fails or returns the true header — and in both cases the replay
+// reader returns exactly the prefix bytes. No prefix length may panic,
+// over-read, or fabricate a wrong header.
+func TestPeekHeaderPrefixProperty(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "testdata", "traces", "philo.dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadHeader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= len(raw); n++ {
+		prefix := raw[:n]
+		hdr, rest, err := PeekHeader(bytes.NewReader(prefix))
+		if err == nil && !reflect.DeepEqual(hdr, want) {
+			t.Fatalf("prefix %d/%d: peek succeeded with a wrong header", n, len(raw))
+		}
+		replayed, readErr := io.ReadAll(rest)
+		if readErr != nil {
+			t.Fatalf("prefix %d/%d: draining replay reader: %v", n, len(raw), readErr)
+		}
+		if !bytes.Equal(replayed, prefix) {
+			t.Fatalf("prefix %d/%d: replay reader returned %d bytes, want %d", n, len(raw), len(replayed), n)
+		}
 	}
 }
