@@ -1,0 +1,74 @@
+package doublechecker_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/icd"
+	"doublechecker/internal/trace"
+)
+
+// TestEngineParityGoldenCorpus is the scan/incremental contract: across the
+// entire golden corpus, replaying under -icd-engine=scan and
+// -icd-engine=incremental must render byte-identical reports, identical
+// violation signatures, and the same ICD detection outcomes. The engines may
+// do different amounts of work (that is the point), but never find different
+// things.
+func TestEngineParityGoldenCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "traces", "*.dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden traces")
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".dct")
+		t.Run(name, func(t *testing.T) {
+			d, err := trace.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(analysis core.Analysis, engine icd.Engine) *core.Result {
+				res, err := core.RunTrace(context.Background(), d, core.Config{
+					Analysis: analysis, ICDEngine: engine,
+				})
+				if err != nil {
+					t.Fatalf("%v/%v: %v", analysis, engine, err)
+				}
+				return res
+			}
+
+			// Single-run mode: the full pipeline report must match byte for
+			// byte.
+			scan := run(core.DCSingle, icd.EngineScan)
+			inc := run(core.DCSingle, icd.EngineIncremental)
+			if a, b := core.ReplayReport(path, d, scan), core.ReplayReport(path, d, inc); a != b {
+				t.Errorf("reports differ:\n--- scan ---\n%s\n--- incremental ---\n%s", a, b)
+			}
+			if a, b := fmt.Sprint(core.ViolationSignatures(scan, d.Header.Program)), fmt.Sprint(core.ViolationSignatures(inc, d.Header.Program)); a != b {
+				t.Errorf("violation signatures differ:\nscan: %s\nincremental: %s", a, b)
+			}
+			if scan.ICD.SCCs != inc.ICD.SCCs || scan.ICD.SCCTxns != inc.ICD.SCCTxns ||
+				scan.ICD.IDGEdges != inc.ICD.IDGEdges {
+				t.Errorf("detection outcomes differ: scan %+v vs incremental %+v", scan.ICD, inc.ICD)
+			}
+
+			// Multi-run first run: the non-logging configuration additionally
+			// exercises transaction recycling under the incremental engine;
+			// the blamed-method output feeding the second run must agree.
+			fScan := run(core.DCFirst, icd.EngineScan)
+			fInc := run(core.DCFirst, icd.EngineIncremental)
+			if a, b := fmt.Sprint(fScan.BlamedMethodNames(d.Header.Program)), fmt.Sprint(fInc.BlamedMethodNames(d.Header.Program)); a != b {
+				t.Errorf("first-run blame differs: scan %s vs incremental %s", a, b)
+			}
+			if fScan.ICD.SCCs != fInc.ICD.SCCs || fScan.ICD.SCCTxns != fInc.ICD.SCCTxns {
+				t.Errorf("first-run detection differs: scan %+v vs incremental %+v", fScan.ICD, fInc.ICD)
+			}
+		})
+	}
+}

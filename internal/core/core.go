@@ -141,6 +141,11 @@ type Config struct {
 	// engine for Velodrome analyses (an extension beyond the paper; exact
 	// same findings, less graph work).
 	VelodromeIncremental bool
+	// ICDEngine selects ICD's deferred-detection engine. The zero value is
+	// icd.EngineIncremental (the amortized condensation); icd.EngineScan
+	// keeps the full per-finish walk for ablation. Findings and reports are
+	// byte-identical either way (the crosscheck harness enforces it).
+	ICDEngine icd.Engine
 	// MemoryBudget, when positive and a Meter is attached, marks the run
 	// out-of-memory once live analysis bytes exceed it — the 32-bit heap
 	// phenomenon of §5.1 (the run continues; Result.Cost.OOM reports it).
@@ -381,7 +386,7 @@ func buildAnalysis(ctx context.Context, prog *vm.Program, cfg Config, res *Resul
 	case DCSingle, DCFirst, DCSecond, PCDOnly:
 		var p *pcd.Checker
 		logging := cfg.Analysis != DCFirst
-		opts := icd.Options{Logging: logging, GCPeriod: cfg.GCPeriod, Telemetry: cfg.Telemetry, TraceSpan: tspan}
+		opts := icd.Options{Logging: logging, GCPeriod: cfg.GCPeriod, Engine: cfg.ICDEngine, Telemetry: cfg.Telemetry, TraceSpan: tspan}
 		if cfg.InstrumentArrays {
 			opts.InstrumentArrays = true
 			opts.DisableSCC = true

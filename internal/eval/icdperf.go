@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"doublechecker/internal/core"
+	"doublechecker/internal/cost"
+	"doublechecker/internal/icd"
+	"doublechecker/internal/workloads"
+)
+
+// icdPerfSeed is the fixed schedule seed; DCFirst replay is serial and
+// deterministic, so every number in the dump reproduces byte for byte.
+const icdPerfSeed = 1
+
+// ICDPerfEngine is one detection engine's measurements on one benchmark:
+// the modelled detection work (cost-model units and nodes explored), the
+// finish-time filter counters, the detection outcomes both engines must
+// agree on, and the measured heap allocations of one whole DCFirst run.
+type ICDPerfEngine struct {
+	Engine string `json:"engine"`
+	// DetectionUnits is the modelled cost charged at transaction finish for
+	// cycle detection (SCCPerNode/SCCPerEdge prices), the headline the
+	// engines compete on. MaintenanceUnits is the incremental engine's
+	// per-edge condensation upkeep (zero under scan): the cost the engine
+	// pays continuously so detection becomes an O(1) component lookup.
+	// TotalUnits is their sum — the honest whole-engine comparison.
+	DetectionUnits   uint64 `json:"detection_units"`
+	MaintenanceUnits uint64 `json:"maintenance_units,omitempty"`
+	TotalUnits       uint64 `json:"total_units"`
+	SCCNodesExplored uint64 `json:"scc_nodes_explored"`
+	SCCDetections    uint64 `json:"scc_detections"`
+	// FinishChecks and the two skip counters describe the shared
+	// quick-reject filter in front of both engines.
+	FinishChecks      uint64 `json:"finish_checks"`
+	SkipNoEligibleOut uint64 `json:"skip_no_eligible_out"`
+	SkipNoEligibleIn  uint64 `json:"skip_no_eligible_in"`
+	// SCCs, SCCTxns and IDGEdges are detection outcomes; the engines must
+	// report identical values (the parity contract).
+	SCCs     uint64 `json:"sccs"`
+	SCCTxns  uint64 `json:"scc_txns"`
+	IDGEdges uint64 `json:"idg_edges"`
+	// EligibleEdges, Reorders and Merges are the incremental engine's
+	// internal work breakdown (zero under scan): condensation insertions,
+	// insertions that disturbed the topological order, and insertions that
+	// collapsed components.
+	EligibleEdges uint64 `json:"eligible_edges,omitempty"`
+	Reorders      uint64 `json:"reorders,omitempty"`
+	Merges        uint64 `json:"merges,omitempty"`
+	// Allocs is the heap allocation count of one full measured run
+	// (GC-fenced, GOMAXPROCS(1)); AllocsPerAccess divides by the run's
+	// access count. Deterministic for a fixed toolchain and machine.
+	Allocs          uint64  `json:"allocs"`
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+}
+
+// ICDPerfBenchmark is one stress benchmark's scan-vs-incremental comparison.
+type ICDPerfBenchmark struct {
+	Name        string        `json:"benchmark"`
+	Accesses    uint64        `json:"accesses"`
+	Scan        ICDPerfEngine `json:"scan"`
+	Incremental ICDPerfEngine `json:"incremental"`
+	// UnitsRatio, TotalRatio, NodesRatio and AllocsRatio are
+	// scan/incremental: above 1 means the incremental engine did less of
+	// that work. UnitsRatio compares detection-time cost (the hot-path
+	// headline); TotalRatio folds the incremental engine's maintenance back
+	// in so the amortization is visible, not hidden.
+	UnitsRatio  float64 `json:"units_ratio"`
+	TotalRatio  float64 `json:"total_ratio"`
+	NodesRatio  float64 `json:"nodes_ratio"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+	// Agree reports that both engines produced identical detection
+	// outcomes (SCCs, SCCTxns, IDGEdges).
+	Agree bool `json:"agree"`
+}
+
+// ICDPerfData is the dump written by `dcbench -experiment icdperf`
+// (BENCH_icdperf.json): the amortized-ICD experiment over the SCC-stress
+// workloads, comparing the legacy per-finish scan engine against the
+// incremental (Pearce–Kelly + union–find) engine at a fixed seed. No wall
+// clocks — modelled units, counters, and GC-fenced allocation counts only —
+// so the file is byte-reproducible across runs on one toolchain.
+type ICDPerfData struct {
+	Scale      float64            `json:"scale"`
+	Seed       int64              `json:"seed"`
+	Benchmarks []ICDPerfBenchmark `json:"benchmarks"`
+}
+
+// ICDPerf runs the amortized-ICD experiment: for each SCC-stress workload,
+// one DCFirst run (the multi-run hot path: no logging, no SCC handoff,
+// transaction recycling on) per engine, measuring modelled detection work
+// and whole-run heap allocations.
+func (r *Runner) ICDPerf() (*ICDPerfData, error) {
+	data := &ICDPerfData{Scale: r.opts.Scale, Seed: icdPerfSeed}
+	for _, name := range workloads.Stress() {
+		bm := ICDPerfBenchmark{Name: name}
+		for _, engine := range []icd.Engine{icd.EngineScan, icd.EngineIncremental} {
+			res, allocs, err := r.icdPerfRun(name, engine)
+			if err != nil {
+				return nil, err
+			}
+			accesses := res.VMStats.FieldAccesses + res.VMStats.ArrayAccesses + res.VMStats.SyncAccesses
+			e := ICDPerfEngine{
+				Engine:            engine.String(),
+				DetectionUnits:    res.ICD.DetectionUnits,
+				MaintenanceUnits:  res.ICD.MaintenanceUnits,
+				TotalUnits:        res.ICD.DetectionUnits + res.ICD.MaintenanceUnits,
+				SCCNodesExplored:  res.ICD.SCCNodesExplored,
+				SCCDetections:     res.ICD.SCCDetections,
+				FinishChecks:      res.ICD.FinishChecks,
+				SkipNoEligibleOut: res.ICD.SkipNoEligibleOut,
+				SkipNoEligibleIn:  res.ICD.SkipNoEligibleIn,
+				SCCs:              res.ICD.SCCs,
+				SCCTxns:           res.ICD.SCCTxns,
+				IDGEdges:          res.ICD.IDGEdges,
+				EligibleEdges:     res.ICD.Engine.Eligible,
+				Reorders:          res.ICD.Engine.Reorders,
+				Merges:            res.ICD.Engine.Merges,
+				Allocs:            allocs,
+				AllocsPerAccess:   round3(float64(allocs) / float64(max(accesses, 1))),
+			}
+			if engine == icd.EngineScan {
+				bm.Scan = e
+				bm.Accesses = accesses
+			} else {
+				bm.Incremental = e
+			}
+		}
+		bm.UnitsRatio = round2(ratio(bm.Scan.DetectionUnits, bm.Incremental.DetectionUnits))
+		bm.TotalRatio = round2(ratio(bm.Scan.TotalUnits, bm.Incremental.TotalUnits))
+		bm.NodesRatio = round2(ratio(bm.Scan.SCCNodesExplored, bm.Incremental.SCCNodesExplored))
+		bm.AllocsRatio = round2(ratio(bm.Scan.Allocs, bm.Incremental.Allocs))
+		bm.Agree = bm.Scan.SCCs == bm.Incremental.SCCs &&
+			bm.Scan.SCCTxns == bm.Incremental.SCCTxns &&
+			bm.Scan.IDGEdges == bm.Incremental.IDGEdges
+		data.Benchmarks = append(data.Benchmarks, bm)
+	}
+	return data, nil
+}
+
+// icdPerfRun executes one warm-up run (builds and caches the workload, so
+// construction never lands in the measurement) and one measured run with
+// the garbage collector fenced and GOMAXPROCS pinned to 1, returning the
+// measured run's result and its heap allocation count.
+func (r *Runner) icdPerfRun(name string, engine icd.Engine) (*core.Result, uint64, error) {
+	_, initial, err := r.bench(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	mut := func(cfg *core.Config) { cfg.ICDEngine = engine }
+	if _, err := r.run(name, core.DCFirst, initial, icdPerfSeed, cost.NewMeter(cost.Default()), mut); err != nil {
+		return nil, 0, err
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := r.run(name, core.DCFirst, initial, icdPerfSeed, cost.NewMeter(cost.Default()), mut)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, after.Mallocs - before.Mallocs, nil
+}
+
+// OK reports the experiment's acceptance bar: on every stress workload the
+// engines agreed on detection outcomes, the incremental engine at least
+// halved the modelled detection units, and it explored fewer SCC nodes.
+func (d *ICDPerfData) OK() bool {
+	for _, bm := range d.Benchmarks {
+		if !bm.Agree || bm.UnitsRatio < 2 ||
+			bm.Incremental.SCCNodesExplored >= bm.Scan.SCCNodesExplored {
+			return false
+		}
+	}
+	return len(d.Benchmarks) > 0
+}
+
+// JSON renders the dump as indented JSON; byte-reproducible at a fixed
+// scale and seed on one toolchain.
+func (d *ICDPerfData) JSON() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		panic("eval: icdperf encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// RenderICDPerf prints the comparison table.
+func (d *ICDPerfData) RenderICDPerf() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Amortized ICD (scale %.2g, seed %d, DCFirst hot path)\n", d.Scale, d.Seed)
+	fmt.Fprintf(&b, "%-10s %-12s %14s %12s %12s %12s %12s %10s  %s\n",
+		"benchmark", "engine", "detect-units", "maint-units", "total-units", "scc-nodes", "allocs", "allocs/acc", "agree")
+	for _, bm := range d.Benchmarks {
+		agree := "yes"
+		if !bm.Agree {
+			agree = "NO (engines diverged)"
+		}
+		for _, e := range []ICDPerfEngine{bm.Scan, bm.Incremental} {
+			fmt.Fprintf(&b, "%-10s %-12s %14d %12d %12d %12d %12d %10.3f  %s\n",
+				bm.Name, e.Engine, e.DetectionUnits, e.MaintenanceUnits, e.TotalUnits,
+				e.SCCNodesExplored, e.Allocs, e.AllocsPerAccess, agree)
+		}
+		fmt.Fprintf(&b, "%-10s %-12s %13.2fx %12s %11.2fx %11.2fx %11.2fx\n",
+			bm.Name, "ratio", bm.UnitsRatio, "", bm.TotalRatio, bm.NodesRatio, bm.AllocsRatio)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func ratio(scan, inc uint64) float64 {
+	if inc == 0 {
+		inc = 1 // keep the dump JSON-encodable if a denominator is ever zero
+	}
+	return float64(scan) / float64(inc)
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

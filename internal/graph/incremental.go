@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // Incremental cycle detection via online topological ordering, after
 // Pearce & Kelly ("A Dynamic Topological Sort Algorithm for Directed
 // Acyclic Graphs", JEA 2007). Velodrome-style checkers add one dependence
@@ -19,8 +21,9 @@ type IncrementalDAG[N comparable] struct {
 	next  int
 
 	// scratch state reused across insertions
-	visited map[N]bool
-	stats   IncStats
+	visited  map[N]bool
+	visitedB map[N]bool
+	stats    IncStats
 }
 
 // IncStats counts the work performed, for the ablation comparison.
@@ -34,10 +37,11 @@ type IncStats struct {
 // NewIncrementalDAG returns an empty structure.
 func NewIncrementalDAG[N comparable]() *IncrementalDAG[N] {
 	return &IncrementalDAG[N]{
-		ord:     make(map[N]int),
-		succs:   make(map[N][]N),
-		preds:   make(map[N][]N),
-		visited: make(map[N]bool),
+		ord:      make(map[N]int),
+		succs:    make(map[N][]N),
+		preds:    make(map[N][]N),
+		visited:  make(map[N]bool),
+		visitedB: make(map[N]bool),
 	}
 }
 
@@ -107,10 +111,11 @@ func (d *IncrementalDAG[N]) AddEdge(src, dst N) bool {
 		d.stats.CyclesHit++
 		return true
 	}
-	// Backward region: nodes reaching src with order >= lb.
+	// Backward region: nodes reaching src with order >= lb. seenB is scratch
+	// reused across insertions, like the forward pass's visited map.
 	var deltaB []N
 	stack = append(stack[:0], src)
-	seenB := make(map[N]bool, 8)
+	seenB := d.visitedB
 	seenB[src] = true
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
@@ -151,6 +156,12 @@ func (d *IncrementalDAG[N]) AddEdge(src, dst N) bool {
 	for n := range seen {
 		delete(seen, n)
 	}
+	for _, n := range deltaB {
+		delete(seenB, n)
+	}
+	for n := range seenB {
+		delete(seenB, n)
+	}
 	d.link(src, dst)
 	return false
 }
@@ -179,18 +190,8 @@ func (d *IncrementalDAG[N]) Validate() bool {
 	return true
 }
 
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
+func sortInts(xs []int) { sort.Ints(xs) }
 
 func sortByOrd[N comparable](d *IncrementalDAG[N], ns []N) {
-	for i := 1; i < len(ns); i++ {
-		for j := i; j > 0 && d.ord[ns[j]] < d.ord[ns[j-1]]; j-- {
-			ns[j], ns[j-1] = ns[j-1], ns[j]
-		}
-	}
+	sort.Slice(ns, func(i, j int) bool { return d.ord[ns[i]] < d.ord[ns[j]] })
 }

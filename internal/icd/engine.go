@@ -1,0 +1,39 @@
+package icd
+
+import "fmt"
+
+// Engine selects how deferred detection (§3.2.3) finds the cyclic component
+// of a finished transaction.
+type Engine uint8
+
+const (
+	// EngineIncremental — the default — maintains an online SCC condensation
+	// of the IDG (Pearce–Kelly topological ordering with union–find collapse,
+	// graph.IncSCC) so each finish answers the component query from already
+	// amortized insertion work instead of re-walking the finished region.
+	EngineIncremental Engine = iota
+	// EngineScan recomputes the component with a fresh graph.SCCFrom walk at
+	// every finish — the pre-amortization behaviour, kept for ablation.
+	EngineScan
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineIncremental:
+		return "incremental"
+	case EngineScan:
+		return "scan"
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine parses a -icd-engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "incremental", "":
+		return EngineIncremental, nil
+	case "scan":
+		return EngineScan, nil
+	}
+	return 0, fmt.Errorf("icd: unknown engine %q (want scan or incremental)", s)
+}

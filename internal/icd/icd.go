@@ -49,6 +49,11 @@ type Options struct {
 	// GCPeriod runs transaction collection every N instrumented accesses;
 	// 0 uses the default (8192).
 	GCPeriod uint64
+	// Engine selects the detection engine; the zero value is
+	// EngineIncremental. EngineScan keeps the old full-walk behaviour for
+	// ablation (the two must produce byte-identical reports; the crosscheck
+	// harness enforces it).
+	Engine Engine
 	// InstrumentArrays includes array element accesses, conflating all
 	// elements of an array into object-level state (§5.4). The paper
 	// disables cycle detection in that experiment because conflation makes
@@ -92,6 +97,19 @@ type Stats struct {
 	UnaryInSCC         bool   // any unary transaction in any SCC (multi-run boolean)
 	SCCDetections      uint64 // SCC computations attempted
 	SCCNodesExplored   uint64
+	FinishChecks       uint64 // transaction finishes considered for detection
+	SkipNoEligibleOut  uint64 // skipped: no outgoing edge to a finished transaction
+	SkipNoEligibleIn   uint64 // skipped: no incoming edge from a finished transaction
+	DetectionUnits     uint64 // modelled cost units spent on per-finish cycle detection
+	// MaintenanceUnits is the modelled cost of incremental-engine graph
+	// upkeep (order maintenance, component merges, adjacency compaction) —
+	// the per-edge work the amortized engine does instead of per-finish
+	// scans. Zero under the scan engine, whose upkeep is free and whose
+	// whole cost lands in DetectionUnits.
+	MaintenanceUnits uint64
+	// Engine carries the incremental engine's internal work counters
+	// (zero-valued under the scan engine).
+	Engine graph.IncSCCStats
 }
 
 // idgEdgeKind labels which Figure 4 handler produced an IDG edge, for the
@@ -159,6 +177,25 @@ type Checker struct {
 	// threshold on the counts).
 	sccMethods map[vm.MethodID]int
 
+	// inc is the incremental SCC condensation (nil under EngineScan or
+	// DisableSCC). incNodes/incEdges snapshot its work counters so each
+	// interaction charges only the delta.
+	inc      *graph.IncSCC[*txn.Txn]
+	incNodes uint64
+	incEdges uint64
+
+	// aggs holds per-component member aggregates keyed by the engine's
+	// representative transaction, maintained on merges so detection can
+	// report a component in O(distinct methods) instead of O(members) when
+	// nothing downstream needs the member list (OnSCC nil). Entries die with
+	// their component: the sweep hook deletes the representative's entry
+	// before the manager recycles the transaction node.
+	aggs     map[*txn.Txn]*compAgg
+	aggsFree []*compAgg
+
+	compBuf  []*txn.Txn // component extraction scratch (only when OnSCC is nil)
+	rootsBuf []*txn.Txn // GC root-set scratch
+
 	stats   Stats
 	sinceGC uint64
 	tel     *tel
@@ -191,10 +228,123 @@ func (c *Checker) configureManager() {
 	if c.opts.NoUnaryMerge {
 		c.mgr.DisableUnaryMerging()
 	}
+	if !c.opts.Logging && c.opts.OnSCC == nil {
+		// Nothing retains transactions or edges past a Collect in this
+		// configuration (no logs for PCD, no SCC handoff), so the manager can
+		// recycle swept nodes — the multi-run first run's hot path then stops
+		// allocating in the steady state.
+		c.mgr.EnableRecycling()
+	}
+	if c.opts.Engine == EngineIncremental && !c.opts.DisableSCC {
+		c.inc = graph.NewIncSCC[*txn.Txn](func(t *txn.Txn) bool {
+			return t.Finished && !t.Dead()
+		})
+		c.incNodes, c.incEdges = 0, 0
+		c.mgr.OnIntraEdge(func(src, dst *txn.Txn) {
+			c.inc.AddEdge(src, dst)
+			c.chargeEngine()
+		})
+		if c.opts.OnSCC == nil {
+			c.aggs = make(map[*txn.Txn]*compAgg)
+			c.inc.SetOnMerge(c.mergeAggs)
+		}
+		c.mgr.OnSweep(func(t *txn.Txn) {
+			c.inc.Release(t)
+			if agg, ok := c.aggs[t]; ok {
+				agg.reset()
+				c.aggsFree = append(c.aggsFree, agg)
+				delete(c.aggs, t)
+			}
+		})
+	}
+}
+
+// compAgg is one cyclic component's member aggregate: how many members are
+// unary, and how many carry each starting method. Detection folds these
+// counts into the checker's stats exactly as a member walk would, without
+// the walk.
+type compAgg struct {
+	unary   int
+	methods map[vm.MethodID]int
+}
+
+func (a *compAgg) reset() {
+	a.unary = 0
+	clear(a.methods)
+}
+
+// addMember folds one transaction into the aggregate.
+func (a *compAgg) addMember(t *txn.Txn) {
+	if t.Unary {
+		a.unary++
+	} else if t.Method != vm.NoMethod {
+		a.methods[t.Method]++
+	}
+}
+
+// aggFor returns the aggregate keyed by rep, creating (or recycling) one
+// seeded with rep itself when the component was a singleton until now.
+func (c *Checker) aggFor(rep *txn.Txn) *compAgg {
+	agg, ok := c.aggs[rep]
+	if !ok {
+		if n := len(c.aggsFree); n > 0 {
+			agg = c.aggsFree[n-1]
+			c.aggsFree = c.aggsFree[:n-1]
+		} else {
+			agg = &compAgg{methods: make(map[vm.MethodID]int)}
+		}
+		agg.addMember(rep)
+		c.aggs[rep] = agg
+	}
+	return agg
+}
+
+// mergeAggs is the engine's merge hook: the loser component's aggregate is
+// folded into the winner's.
+func (c *Checker) mergeAggs(winner, loser *txn.Txn) {
+	wa := c.aggFor(winner)
+	if la, ok := c.aggs[loser]; ok {
+		wa.unary += la.unary
+		for m, n := range la.methods {
+			wa.methods[m] += n
+		}
+		la.reset()
+		c.aggsFree = append(c.aggsFree, la)
+		delete(c.aggs, loser)
+		return
+	}
+	wa.addMember(loser)
+}
+
+// chargeEngine charges the incremental engine's work since the last call to
+// the cost meter, under the same per-node/per-edge prices the scan engine
+// pays. The charge lands in MaintenanceUnits, not DetectionUnits: the
+// engine converts the scan's per-finish detection cost into per-edge graph
+// upkeep, and the two buckets keep that trade visible (icdperf reports
+// detection, maintenance, and their sum for both engines).
+func (c *Checker) chargeEngine() {
+	st := c.inc.Stats()
+	dn, de := st.NodesVisited-c.incNodes, st.EdgesScanned-c.incEdges
+	if dn == 0 && de == 0 {
+		return
+	}
+	c.incNodes, c.incEdges = st.NodesVisited, st.EdgesScanned
+	if c.meter != nil {
+		m := c.meter.Model()
+		u := m.SCCPerNode*cost.Units(dn) + m.SCCPerEdge*cost.Units(de)
+		c.meter.Charge(u)
+		c.stats.MaintenanceUnits += uint64(u)
+	}
 }
 
 // Stats returns ICD counters.
-func (c *Checker) Stats() Stats { return c.stats }
+func (c *Checker) Stats() Stats {
+	st := c.stats
+	if c.inc != nil {
+		st.Engine = c.inc.Stats()
+	}
+	return st
+}
 
 // TxnStats returns the transaction manager's counters.
 func (c *Checker) TxnStats() txn.Stats { return c.mgr.Stats() }
@@ -354,6 +504,10 @@ func (c *Checker) addIDGEdge(src, dst *txn.Txn, kind idgEdgeKind) {
 		if c.meter != nil {
 			c.meter.Charge(c.meter.Model().IDGEdge)
 		}
+		if c.inc != nil {
+			c.inc.AddEdge(src, dst)
+			c.chargeEngine()
+		}
 	}
 	if c.opts.EagerDetect {
 		// The rejected per-edge strategy: look for a cycle through the new
@@ -387,9 +541,17 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 	if c.opts.DisableSCC {
 		return
 	}
-	// Quick reject: a cycle through tx needs an outgoing edge to an
-	// already-finished transaction (all cycle members are finished when the
-	// last one finishes, and detection runs at every finish).
+	c.stats.FinishChecks++
+	if c.inc != nil {
+		// The engine must observe every finish even when detection below is
+		// skipped: an eligibility change alone can complete a cycle (all of
+		// the cycle's edges may predate this finish).
+		c.inc.Activate(tx)
+		c.chargeEngine()
+	}
+	// Quick reject (outgoing): a cycle through tx needs an outgoing edge to
+	// an already-finished transaction (all cycle members are finished when
+	// the last one finishes, and detection runs at every finish).
 	anyFinished := false
 	for _, e := range tx.Out {
 		if e.Dst.Finished && !e.Dst.Dead() {
@@ -398,6 +560,15 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 		}
 	}
 	if !anyFinished {
+		c.stats.SkipNoEligibleOut++
+		return
+	}
+	// Quick reject (incoming): the cycle equally needs an incoming edge whose
+	// source has finished. The manager maintains that flag monotonically — a
+	// finished source never unfinishes, and a swept one only leaves the flag
+	// conservatively set — so the test is a single load.
+	if !tx.FinishedInEdge() {
+		c.stats.SkipNoEligibleIn++
 		return
 	}
 	c.stats.SCCDetections++
@@ -413,25 +584,80 @@ func (c *Checker) txnFinished(tx *txn.Txn) {
 	if c.meter != nil {
 		model = c.meter.Model()
 	}
-	succ := func(t *txn.Txn) []*txn.Txn {
-		c.stats.SCCNodesExplored++
-		if c.meter != nil {
-			c.meter.Charge(model.SCCPerNode + model.SCCPerEdge*cost.Units(len(t.Out)))
+	var comp []*txn.Txn
+	var size int
+	switch {
+	case c.inc != nil && c.opts.OnSCC == nil:
+		// Aggregate path: nothing downstream needs the member list, so the
+		// component is reported from its maintained aggregate — an O(1)
+		// lookup plus O(distinct methods) of counter folding, where the scan
+		// walks every member at every finish. This is the amortized engine's
+		// detection-time payoff.
+		rep, sz, cyclic, ok := c.inc.Component(tx)
+		if !ok || !cyclic {
+			return
 		}
-		return t.Succs()
-	}
-	include := func(t *txn.Txn) bool { return t.Finished && !t.Dead() }
-	comp := graph.SCCFrom(tx, succ, include)
-	if comp == nil {
-		return
+		size = sz
+		touched := 1 // the component lookup itself
+		if agg, found := c.aggs[rep]; found {
+			if agg.unary > 0 {
+				c.stats.UnaryInSCC = true
+			}
+			for m, n := range agg.methods {
+				c.sccMethods[m] += n
+				touched++
+			}
+		} else if tx.Unary {
+			// A singleton self-loop component is exactly tx.
+			c.stats.UnaryInSCC = true
+		} else if tx.Method != vm.NoMethod {
+			c.sccMethods[tx.Method]++
+		}
+		c.stats.SCCNodesExplored += uint64(touched)
+		if c.meter != nil {
+			u := model.SCCPerNode * cost.Units(touched)
+			c.meter.Charge(u)
+			c.stats.DetectionUnits += uint64(u)
+		}
+	case c.inc != nil:
+		// The OnSCC handoff needs the member slice; extraction pays per
+		// member, mirroring the scan's node visits. The slice is retained
+		// downstream, so no backing-array reuse here.
+		comp = c.inc.CyclicComponent(tx, nil)
+		if comp == nil {
+			return
+		}
+		size = len(comp)
+		c.stats.SCCNodesExplored += uint64(size)
+		if c.meter != nil {
+			u := model.SCCPerNode * cost.Units(size)
+			c.meter.Charge(u)
+			c.stats.DetectionUnits += uint64(u)
+		}
+	default:
+		succ := func(t *txn.Txn) []*txn.Txn {
+			c.stats.SCCNodesExplored++
+			if c.meter != nil {
+				u := model.SCCPerNode + model.SCCPerEdge*cost.Units(len(t.Out))
+				c.meter.Charge(u)
+				c.stats.DetectionUnits += uint64(u)
+			}
+			return t.Succs()
+		}
+		include := func(t *txn.Txn) bool { return t.Finished && !t.Dead() }
+		comp = graph.SCCFrom(tx, succ, include)
+		if comp == nil {
+			return
+		}
+		size = len(comp)
 	}
 	c.stats.SCCs++
-	c.stats.SCCTxns += uint64(len(comp))
-	osp.SetInt("scc_txns", int64(len(comp)))
+	c.stats.SCCTxns += uint64(size)
+	osp.SetInt("scc_txns", int64(size))
 	if c.tel != nil {
 		c.tel.sccs.Inc()
-		c.tel.sccTxns.Add(uint64(len(comp)))
-		c.tel.sccSize.Observe(uint64(len(comp)))
+		c.tel.sccTxns.Add(uint64(size))
+		c.tel.sccSize.Observe(uint64(size))
 	}
 	for _, member := range comp {
 		if member.Unary {
@@ -456,7 +682,7 @@ func (c *Checker) collect() {
 		ocost0 = c.meter.Total()
 	}
 	defer c.endPhaseSpan(osp, ocost0)
-	roots := make([]*txn.Txn, 0, len(c.lastRdEx)+1)
+	roots := c.rootsBuf[:0]
 	for _, tx := range c.lastRdEx {
 		roots = append(roots, tx)
 	}
@@ -464,6 +690,7 @@ func (c *Checker) collect() {
 		roots = append(roots, c.gLastRdSh)
 	}
 	c.mgr.Collect(roots)
+	c.rootsBuf = roots[:0]
 }
 
 // endPhaseSpan closes a request-scoped phase span, charging the meter's

@@ -177,17 +177,31 @@ type tel struct {
 }
 
 // Engine tracks Octet state for every object of one execution.
+//
+// Object and thread IDs are dense small integers (the VM allocates them
+// contiguously from zero), so the per-variable state lives in slices grown on
+// first touch rather than maps: the per-access fast path is then a bounds
+// check plus an indexed load, with no hashing and no allocation.
 type Engine struct {
-	states   map[vm.ObjectID]State
-	rdShCnt  map[vm.ThreadID]uint64
+	states   []State  // indexed by ObjectID
+	rdShCnt  []uint64 // indexed by ThreadID
 	gRdShCnt uint64
 	hooks    Hooks
 	blocked  func(vm.ThreadID) bool
-	live     map[vm.ThreadID]bool
-	exited   map[vm.ThreadID]bool
+	live     []bool // indexed by ThreadID
+	exited   []bool // indexed by ThreadID
+	resps    []vm.ThreadID
 	meter    *cost.Meter
 	stats    Stats
 	tel      *tel
+}
+
+// grown extends xs with zero values so index n is addressable.
+func grown[T any](xs []T, n int) []T {
+	if n < len(xs) {
+		return xs
+	}
+	return append(xs, make([]T, n+1-len(xs))...)
 }
 
 // SetTelemetry attaches a registry: barrier outcomes are then counted live
@@ -217,34 +231,62 @@ func New(hooks Hooks, blocked func(vm.ThreadID) bool, meter *cost.Meter) *Engine
 		blocked = func(vm.ThreadID) bool { return false }
 	}
 	return &Engine{
-		states:  make(map[vm.ObjectID]State),
-		rdShCnt: make(map[vm.ThreadID]uint64),
 		hooks:   hooks,
 		blocked: blocked,
-		live:    make(map[vm.ThreadID]bool),
-		exited:  make(map[vm.ThreadID]bool),
 		meter:   meter,
 	}
 }
 
 // ThreadStart registers a live thread (a candidate responder).
-func (e *Engine) ThreadStart(t vm.ThreadID) { e.live[t] = true }
+func (e *Engine) ThreadStart(t vm.ThreadID) {
+	e.live = grown(e.live, int(t))
+	e.live[t] = true
+}
 
 // ThreadExit marks a thread exited. It remains a responder for RdSh
 // conflicts — its reads are still unordered with respect to a future
 // writer, and dropping the coordination (and with it ICD's edge from the
 // thread's last transaction) would miss dependences; the coordination is
 // trivially implicit, as with any blocked thread.
-func (e *Engine) ThreadExit(t vm.ThreadID) { e.exited[t] = true }
+func (e *Engine) ThreadExit(t vm.ThreadID) {
+	e.exited = grown(e.exited, int(t))
+	e.exited[t] = true
+}
 
 // StateOf returns obj's current state.
-func (e *Engine) StateOf(obj vm.ObjectID) State { return e.states[obj] }
+func (e *Engine) StateOf(obj vm.ObjectID) State {
+	if int(obj) < len(e.states) {
+		return e.states[obj]
+	}
+	return State{}
+}
+
+// setState installs obj's state, growing the table on first touch.
+func (e *Engine) setState(obj vm.ObjectID, s State) {
+	e.states = grown(e.states, int(obj))
+	e.states[obj] = s
+}
 
 // GRdShCnt returns the global read-shared counter.
 func (e *Engine) GRdShCnt() uint64 { return e.gRdShCnt }
 
 // RdShCnt returns thread t's local read-shared counter.
-func (e *Engine) RdShCnt(t vm.ThreadID) uint64 { return e.rdShCnt[t] }
+func (e *Engine) RdShCnt(t vm.ThreadID) uint64 {
+	if int(t) < len(e.rdShCnt) {
+		return e.rdShCnt[t]
+	}
+	return 0
+}
+
+// setRdShCnt installs thread t's local read-shared counter.
+func (e *Engine) setRdShCnt(t vm.ThreadID, c uint64) {
+	e.rdShCnt = grown(e.rdShCnt, int(t))
+	e.rdShCnt[t] = c
+}
+
+func (e *Engine) isExited(t vm.ThreadID) bool {
+	return int(t) < len(e.exited) && e.exited[t]
+}
 
 // Stats returns barrier statistics.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -265,7 +307,7 @@ func (e *Engine) model() cost.Model {
 // BeforeRead runs the read barrier for thread t on obj (Table 1 read rows)
 // and returns the transition taken.
 func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
-	old := e.states[obj]
+	old := e.StateOf(obj)
 	m := e.model()
 	switch old.Kind {
 	case WrEx, RdEx:
@@ -284,8 +326,8 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 		// Upgrading: RdEx_T1, R by T2 -> RdSh_c with fresh c.
 		e.gRdShCnt++
 		newState := State{Kind: RdSh, Counter: e.gRdShCnt}
-		e.states[obj] = newState
-		e.rdShCnt[t] = e.gRdShCnt
+		e.setState(obj, newState)
+		e.setRdShCnt(t, e.gRdShCnt)
 		e.stats.Upgrading++
 		if e.tel != nil {
 			e.tel.upgrading.Inc()
@@ -294,7 +336,7 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 		e.hooks.HandleUpgrading(t, old.Owner, old, newState)
 		return Transition{Kind: Upgrading, Old: old, New: newState}
 	case RdSh:
-		if e.rdShCnt[t] >= old.Counter {
+		if e.RdShCnt(t) >= old.Counter {
 			e.stats.FastPath++
 			if e.tel != nil {
 				e.tel.fastPath.Inc()
@@ -303,7 +345,7 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 			return Transition{Kind: Same, Old: old, New: old}
 		}
 		// Fence transition: update the thread's counter.
-		e.rdShCnt[t] = old.Counter
+		e.setRdShCnt(t, old.Counter)
 		e.stats.Fences++
 		if e.tel != nil {
 			e.tel.fence.Inc()
@@ -313,7 +355,7 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 		return Transition{Kind: Fence, Old: old, New: old}
 	default: // Free: first access claims read-exclusivity.
 		newState := State{Kind: RdEx, Owner: t}
-		e.states[obj] = newState
+		e.setState(obj, newState)
 		e.stats.Initial++
 		if e.tel != nil {
 			e.tel.initial.Inc()
@@ -326,7 +368,7 @@ func (e *Engine) BeforeRead(t vm.ThreadID, obj vm.ObjectID) Transition {
 // BeforeWrite runs the write barrier for thread t on obj (Table 1 write
 // rows) and returns the transition taken.
 func (e *Engine) BeforeWrite(t vm.ThreadID, obj vm.ObjectID) Transition {
-	old := e.states[obj]
+	old := e.StateOf(obj)
 	m := e.model()
 	switch old.Kind {
 	case WrEx:
@@ -344,7 +386,7 @@ func (e *Engine) BeforeWrite(t vm.ThreadID, obj vm.ObjectID) Transition {
 			// Upgrading: RdEx_T -> WrEx_T, atomic, no coordination, and —
 			// per §3.2.2 — safely ignored by ICD (no hook).
 			newState := State{Kind: WrEx, Owner: t}
-			e.states[obj] = newState
+			e.setState(obj, newState)
 			e.stats.Upgrading++
 			if e.tel != nil {
 				e.tel.upgrading.Inc()
@@ -357,7 +399,7 @@ func (e *Engine) BeforeWrite(t vm.ThreadID, obj vm.ObjectID) Transition {
 		return e.conflict(t, obj, old, State{Kind: WrEx, Owner: t})
 	default: // Free
 		newState := State{Kind: WrEx, Owner: t}
-		e.states[obj] = newState
+		e.setState(obj, newState)
 		e.stats.Initial++
 		if e.tel != nil {
 			e.tel.initial.Inc()
@@ -381,20 +423,21 @@ func (e *Engine) conflict(req vm.ThreadID, obj vm.ObjectID, old, newState State)
 	if e.tel != nil {
 		e.tel.conflicting.Inc()
 	}
-	var resps []vm.ThreadID
+	resps := e.resps[:0]
 	switch old.Kind {
 	case WrEx, RdEx:
-		resps = []vm.ThreadID{old.Owner}
+		resps = append(resps, old.Owner)
 	case RdSh:
-		for t := range e.live {
-			if t != req {
-				resps = append(resps, t)
+		// Slice iteration yields threads in ID order, so the responder
+		// sequence is deterministic without a sort.
+		for t, on := range e.live {
+			if on && vm.ThreadID(t) != req {
+				resps = append(resps, vm.ThreadID(t))
 			}
 		}
-		sortThreads(resps)
 	}
 	for _, resp := range resps {
-		explicit := !e.blocked(resp) && !e.exited[resp]
+		explicit := !e.blocked(resp) && !e.isExited(resp)
 		if explicit {
 			e.stats.Explicit++
 			if e.tel != nil {
@@ -411,14 +454,7 @@ func (e *Engine) conflict(req vm.ThreadID, obj vm.ObjectID, old, newState State)
 		e.stats.Responders++
 		e.hooks.HandleConflicting(resp, req, old, newState, explicit)
 	}
-	e.states[obj] = newState
+	e.resps = resps[:0]
+	e.setState(obj, newState)
 	return Transition{Kind: Conflicting, Old: old, New: newState}
-}
-
-func sortThreads(ts []vm.ThreadID) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
 }

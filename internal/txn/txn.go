@@ -50,6 +50,7 @@ type Txn struct {
 	interrupted bool // a cross-thread edge touched this (unary) transaction
 	marked      bool // GC scratch
 	dead        bool
+	finIn       bool // has an incoming edge whose source has finished
 }
 
 // Accesses returns how many accesses executed in this transaction
@@ -82,6 +83,14 @@ func (t *Txn) EdgeTo(dst *Txn) *Edge {
 // Interrupted reports whether a cross-thread edge has touched this
 // transaction (which prevents merging subsequent unary accesses into it).
 func (t *Txn) Interrupted() bool { return t.interrupted }
+
+// FinishedInEdge reports whether any incoming dependence edge's source has
+// finished. The manager maintains the flag monotonically (stamped when an
+// edge arrives from an already-finished source, and when a source finishes,
+// over its out-edges). ICD's deferred detection uses it as a sound quick
+// reject: a cycle through t among finished transactions needs an eligible
+// incoming edge as well as an eligible outgoing one.
+func (t *Txn) FinishedInEdge() bool { return t.finIn }
 
 // Edge is a dependence edge between two transactions. Multiple dynamic
 // dependences between the same pair share one Edge; when logging is
@@ -171,9 +180,23 @@ type Manager struct {
 	// consecutive transactions of a thread (cycle engines that mirror the
 	// graph need them as well as the cross edges they add themselves).
 	onIntraEdge func(src, dst *Txn)
+	// onSweep is invoked for each transaction swept by Collect, before its
+	// storage is reclaimed (incremental detection engines drop their node
+	// state here).
+	onSweep func(*Txn)
 
 	noElide bool
 	noMerge bool
+	recycle bool
+
+	// Free lists for the recycling mode: swept transaction nodes and edge
+	// objects are reused instead of handed to the runtime GC, keeping the
+	// non-logging hot path allocation-free in the steady state. The modelled
+	// cost accounting (alloc/Free) is unchanged — recycling saves real
+	// allocations, not modelled bytes.
+	freeTxns  []*Txn
+	freeEdges []*Edge
+	gcStack   []*Txn // Collect's mark-stack scratch, reused across collections
 
 	elide    map[fieldKey]map[vm.ThreadID]*lastAccess
 	threadTS map[vm.ThreadID]uint64
@@ -206,6 +229,18 @@ func (m *Manager) OnFinish(f func(*Txn)) { m.onFinish = f }
 // program-order edge the manager creates.
 func (m *Manager) OnIntraEdge(f func(src, dst *Txn)) { m.onIntraEdge = f }
 
+// OnSweep registers a callback fired for every transaction Collect sweeps,
+// before the transaction's storage is reclaimed.
+func (m *Manager) OnSweep(f func(*Txn)) { m.onSweep = f }
+
+// EnableRecycling turns on free-list reuse of swept transaction nodes and
+// edge objects. Only safe when nothing retains *Txn or *Edge pointers past a
+// Collect: the checker must not be logging (PCD replays hold logs) and must
+// not hand SCCs or violations onward (violations retain their cycle's
+// transactions). ICD's non-logging first run — the configuration whose whole
+// point is a minimal hot path (§3.1) — satisfies both.
+func (m *Manager) EnableRecycling() { m.recycle = true }
+
 // DisableElision turns off read/write-log duplicate elision (ablation of
 // the paper's §4 optimization).
 func (m *Manager) DisableElision() { m.noElide = true }
@@ -232,14 +267,21 @@ func (m *Manager) alloc(bytes int64) {
 
 func (m *Manager) newTxn(t vm.ThreadID, method vm.MethodID, unary bool) *Txn {
 	m.nextID++
-	tx := &Txn{
-		ID:       m.nextID,
-		Thread:   t,
-		Method:   method,
-		Unary:    unary,
-		StartSeq: m.clock(),
-		out:      make(map[*Txn]*Edge),
+	var tx *Txn
+	if n := len(m.freeTxns); n > 0 {
+		tx = m.freeTxns[n-1]
+		m.freeTxns = m.freeTxns[:n-1]
+		out, outs := tx.out, tx.Out[:0]
+		clear(out)
+		*tx = Txn{out: out, Out: outs}
+	} else {
+		tx = &Txn{out: make(map[*Txn]*Edge)}
 	}
+	tx.ID = m.nextID
+	tx.Thread = t
+	tx.Method = method
+	tx.Unary = unary
+	tx.StartSeq = m.clock()
 	m.all = append(m.all, tx)
 	m.alloc(txnBytes)
 	m.threadTS[t]++
@@ -258,6 +300,11 @@ func (m *Manager) finish(tx *Txn) {
 	}
 	tx.Finished = true
 	tx.EndSeq = m.clock()
+	// Stamp successors: each now has an incoming edge from a finished
+	// transaction (see Txn.FinishedInEdge).
+	for _, e := range tx.Out {
+		e.Dst.finIn = true
+	}
 	if m.onFinish != nil {
 		m.onFinish(tx)
 	}
@@ -363,10 +410,7 @@ func (m *Manager) addIntraEdge(src, dst *Txn) {
 	if e := src.out[dst]; e != nil {
 		return
 	}
-	m.edgeSeq++
-	e := &Edge{Src: src, Dst: dst, Cross: false, Order: m.edgeSeq}
-	src.out[dst] = e
-	src.Out = append(src.Out, e)
+	m.newEdge(src, dst, false)
 	m.stats.IntraEdges++
 	m.alloc(edgeBytes)
 	if m.onIntraEdge != nil {
@@ -395,10 +439,7 @@ func (m *Manager) AddCrossEdge(src, dst *Txn) *Edge {
 	}
 	e := src.out[dst]
 	if e == nil {
-		m.edgeSeq++
-		e = &Edge{Src: src, Dst: dst, Cross: true, Order: m.edgeSeq}
-		src.out[dst] = e
-		src.Out = append(src.Out, e)
+		e = m.newEdge(src, dst, true)
 		m.stats.CrossEdges++
 		m.alloc(edgeBytes)
 	}
@@ -407,6 +448,28 @@ func (m *Manager) AddCrossEdge(src, dst *Txn) *Edge {
 		src.Marks = append(src.Marks, Mark{In: false, Other: dst, Seq: seq})
 		dst.Marks = append(dst.Marks, Mark{In: true, Other: src, Seq: seq})
 		m.alloc(2 * occBytes)
+	}
+	return e
+}
+
+// newEdge allocates (or recycles) an edge src -> dst and links it into
+// src's adjacency.
+func (m *Manager) newEdge(src, dst *Txn, cross bool) *Edge {
+	m.edgeSeq++
+	var e *Edge
+	if n := len(m.freeEdges); n > 0 {
+		e = m.freeEdges[n-1]
+		m.freeEdges = m.freeEdges[:n-1]
+	} else {
+		e = new(Edge)
+	}
+	*e = Edge{Src: src, Dst: dst, Cross: cross, Order: m.edgeSeq}
+	src.out[dst] = e
+	src.Out = append(src.Out, e)
+	if src.Finished {
+		// A finished source never re-fires finish's successor stamping, so
+		// the edge stamps its sink directly (see Txn.FinishedInEdge).
+		dst.finIn = true
 	}
 	return e
 }
@@ -485,7 +548,7 @@ func (m *Manager) Record(t vm.ThreadID, obj vm.ObjectID, field vm.FieldID, write
 // transactions).
 func (m *Manager) Collect(extraRoots []*Txn) int {
 	m.stats.Collections++
-	var stack []*Txn
+	stack := m.gcStack[:0]
 	mark := func(tx *Txn) {
 		if tx != nil && !tx.marked {
 			tx.marked = true
@@ -515,19 +578,36 @@ func (m *Manager) Collect(extraRoots []*Txn) int {
 		}
 		swept++
 		tx.dead = true
+		if m.onSweep != nil {
+			m.onSweep(tx)
+		}
 		if m.meter != nil {
 			m.meter.Free(txnBytes +
 				entryBytes*int64(len(tx.Log)) +
 				edgeBytes*int64(len(tx.Out)) +
 				occBytes*int64(len(tx.Marks)))
 		}
-		tx.Log = nil
-		tx.Marks = nil
-		tx.Out = nil
-		tx.out = nil
+		if m.recycle {
+			// Components die whole (mutual reachability), so nothing live
+			// can still point at these nodes or their edges: reuse them.
+			for _, e := range tx.Out {
+				*e = Edge{}
+				m.freeEdges = append(m.freeEdges, e)
+			}
+			tx.Out = tx.Out[:0]
+			tx.Log = nil
+			tx.Marks = nil
+			m.freeTxns = append(m.freeTxns, tx)
+		} else {
+			tx.Log = nil
+			tx.Marks = nil
+			tx.Out = nil
+			tx.out = nil
+		}
 	}
 	m.all = kept
 	m.stats.Swept += uint64(swept)
+	m.gcStack = stack
 	return swept
 }
 
